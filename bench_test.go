@@ -1,0 +1,427 @@
+package s3d
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Custom metrics carry
+// the reproduced quantities so `go test -bench=. -benchmem` regenerates the
+// numbers EXPERIMENTS.md records:
+//
+//	Fig. 1  — weak-scaling cost per grid point per step (µs)
+//	Fig. 2  — region breakdown, XT3/XT4 diffusive-flux ratio
+//	Fig. 3  — balanced-hybrid cost at the 2007 node mix (µs)
+//	Figs. 4–5 — diffusive-flux kernel: naive vs optimised (real timing)
+//	Fig. 9  — S3D-I/O write bandwidth per method (MB/s)
+//	Fig. 10 — lifted-flame DNS step throughput
+//	Fig. 11 — conditional T|ξ statistics construction
+//	Table 1 — laminar flame + turbulence parameter evaluation
+//	Fig. 12 — c-isosurface rendering
+//	Fig. 13 — conditional |∇c| statistics
+//	Figs. 14–15 — multivariate rendering + trispace views
+//	Figs. 16–18 — workflow pipeline execution
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/chem"
+	"github.com/s3dgo/s3d/internal/deriv"
+	"github.com/s3dgo/s3d/internal/flame1d"
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/pario"
+	"github.com/s3dgo/s3d/internal/perf"
+	"github.com/s3dgo/s3d/internal/sdf"
+	"github.com/s3dgo/s3d/internal/solver"
+	"github.com/s3dgo/s3d/internal/stats"
+	"github.com/s3dgo/s3d/internal/transport"
+	"github.com/s3dgo/s3d/internal/turb"
+	"github.com/s3dgo/s3d/internal/viz"
+	"github.com/s3dgo/s3d/internal/workflow"
+)
+
+// --- Figure 1 ---
+
+func BenchmarkFig1WeakScaling(b *testing.B) {
+	cores := []int{2, 64, 2048, 8192, 12000, 22800}
+	var hybridPlateau float64
+	for i := 0; i < b.N; i++ {
+		pts := perf.WeakScaling(cores, "hybrid")
+		hybridPlateau = pts[len(pts)-1].CostPerGP
+	}
+	b.ReportMetric(perf.NodalCost(perf.XT4, perf.S3DKernels)*1e6, "xt4_us/gp")
+	b.ReportMetric(perf.NodalCost(perf.XT3, perf.S3DKernels)*1e6, "xt3_us/gp")
+	b.ReportMetric(hybridPlateau*1e6, "hybrid_us/gp")
+}
+
+// --- Figure 2 ---
+
+func BenchmarkFig2Breakdown(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		b3 := perf.RegionBreakdown(perf.XT3, perf.XT3, perf.S3DKernels)
+		b4 := perf.RegionBreakdown(perf.XT4, perf.XT3, perf.S3DKernels)
+		ratio = b3["COMPUTESPECIESDIFFFLUX"] / b4["COMPUTESPECIESDIFFFLUX"]
+	}
+	b.ReportMetric(ratio, "diffflux_xt3/xt4")
+}
+
+// --- Figure 3 ---
+
+func BenchmarkFig3HybridBalance(b *testing.B) {
+	var at46 float64
+	for i := 0; i < b.N; i++ {
+		at46 = perf.HybridBalance([]float64{0.46})[0].CostPerGP
+	}
+	b.ReportMetric(at46*1e6, "balanced_us/gp") // paper: 61 µs
+}
+
+// --- Figures 4–5: the real kernel, both implementations ---
+
+// diffFluxBlock builds a single-rank inert block with gradients prepared so
+// only the diffusive-flux kernel is measured.
+func diffFluxBlock(b *testing.B, n int, kernel solver.DiffFluxKernel) *solver.Block {
+	b.Helper()
+	mech := chem.H2Air()
+	cfg := &solver.Config{
+		Mech:         mech,
+		Trans:        transport.MustNew(mech.Set),
+		Grid:         grid.New(grid.Spec{Nx: n, Ny: n, Nz: n, Lx: 0.01, Ly: 0.01, Lz: 0.01}),
+		PInf:         101325,
+		ChemistryOff: true,
+		DiffFlux:     kernel,
+	}
+	blk, err := solver.NewSerial(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iH2 := mech.Set.Index("H2")
+	iO2 := mech.Set.Index("O2")
+	iN2 := mech.Set.Index("N2")
+	iH2O := mech.Set.Index("H2O")
+	blk.SetState(func(x, y, z float64, s *solver.InflowState) {
+		f := 0.02 * (1 + math.Sin(600*x)*math.Cos(600*y))
+		s.T = 400 + 60*math.Sin(600*y)
+		for i := range s.Y {
+			s.Y[i] = 0
+		}
+		s.Y[iH2] = f
+		s.Y[iH2O] = 0.05
+		s.Y[iO2] = 0.2
+		s.Y[iN2] = 1 - f - 0.25
+	}, nil)
+	blk.PrepareDiffFluxInputs()
+	return blk
+}
+
+func BenchmarkFig4DiffFluxNaive(b *testing.B) {
+	blk := diffFluxBlock(b, 50, solver.DiffFluxNaive)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.DiffFluxKernelOnly()
+	}
+}
+
+func BenchmarkFig4DiffFluxOptimized(b *testing.B) {
+	blk := diffFluxBlock(b, 50, solver.DiffFluxOptimized)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.DiffFluxKernelOnly()
+	}
+}
+
+func BenchmarkFig5ModelledSaving(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		_, _, saving = perf.DiffFluxModelSpeedup(perf.XD1, 2.94)
+	}
+	b.ReportMetric(saving*100, "xd1_saving_%") // paper: 6.8%
+}
+
+// --- Figure 9 ---
+
+func BenchmarkFig9IOKernel(b *testing.B) {
+	k := pario.Kernel{NxP: 50, NyP: 50, NzP: 50, Px: 4, Py: 4, Pz: 2}
+	net := pario.GigE()
+	lustre := pario.Lustre()
+	gpfs := pario.GPFS()
+	var res [4]pario.Result
+	for i := 0; i < b.N; i++ {
+		for mi, m := range pario.AllMethods() {
+			res[mi] = m.Simulate(k, lustre, net, 10)
+		}
+	}
+	b.ReportMetric(res[0].BandwidthMBs, "lustre_fortran_MB/s")
+	b.ReportMetric(res[1].BandwidthMBs, "lustre_collective_MB/s")
+	b.ReportMetric(res[2].BandwidthMBs, "lustre_caching_MB/s")
+	b.ReportMetric(res[3].BandwidthMBs, "lustre_writebehind_MB/s")
+	g := pario.TwoStageWriteBehind{}.Simulate(k, gpfs, net, 10)
+	b.ReportMetric(g.BandwidthMBs, "gpfs_writebehind_MB/s")
+}
+
+func BenchmarkFig9Alignment(b *testing.B) {
+	// Ablation: aligned page flushes vs unaligned partitions on Lustre.
+	fs := pario.Lustre()
+	const np = 16
+	pageB := fs.StripeBytes
+	fileBytes := pageB * 128
+	aligned := make([][]pario.Run, np)
+	unaligned := make([][]pario.Run, np)
+	for pg := int64(0); pg < 128; pg++ {
+		p := int(pg) % np
+		aligned[p] = append(aligned[p], pario.Run{Offset: pg * pageB, Bytes: pageB, Count: 1})
+	}
+	chunk := fileBytes / np
+	for p := 0; p < np; p++ {
+		off := int64(p)*chunk + pageB/3
+		if p == 0 {
+			off = 0
+		}
+		end := int64(p+1)*chunk + pageB/3
+		if p == np-1 {
+			end = fileBytes
+		}
+		unaligned[p] = []pario.Run{{Offset: off, Bytes: end - off, Count: 1}}
+	}
+	var ta, tu float64
+	for i := 0; i < b.N; i++ {
+		ta = fs.SharedWriteTime(aligned, fileBytes)
+		tu = fs.SharedWriteTime(unaligned, fileBytes)
+	}
+	b.ReportMetric(tu/ta, "unaligned_slowdown_x")
+}
+
+// --- Figure 10 ---
+
+func BenchmarkFig10LiftedFlame(b *testing.B) {
+	p, err := LiftedJetProblem(LiftedJetOptions{Nx: 48, Ny: 40, Nz: 1, IgnitionKernel: true, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := p.NewSimulation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dt := 0.4 * sim.StableDt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance(1, dt)
+	}
+	nx, ny, nz := sim.Dims()
+	perStep := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(perStep/float64(nx*ny*nz)*1e6, "us/gp/step")
+}
+
+// --- Figure 11 ---
+
+func BenchmarkFig11ConditionalStats(b *testing.B) {
+	// Conditional statistics over a synthetic T(ξ) cloud of the figure-11 size.
+	n := 200000
+	xi := make([]float64, n)
+	temp := make([]float64, n)
+	for i := range xi {
+		xi[i] = float64(i%1000) / 1000
+		temp[i] = 1100 + 1200*math.Exp(-(xi[i]-0.2)*(xi[i]-0.2)/0.02)
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		cond := stats.NewConditional(25, 0, 1)
+		for i := range xi {
+			cond.Add(xi[i], temp[i])
+		}
+		cond.Bins()
+	}
+}
+
+// --- Table 1 ---
+
+func BenchmarkTable1Parameters(b *testing.B) {
+	m := chem.CH4Skeletal()
+	yu, err := flame1d.PremixedMixture(m, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var props flame1d.Properties
+	for i := 0; i < b.N; i++ {
+		// Coarser, shorter flame solve than production: the bench measures
+		// the parameter pipeline, EXPERIMENTS.md records the full numbers.
+		props, err = flame1d.Solve(flame1d.Config{
+			Mech: m, Tu: 800, P: 101325, Yu: yu,
+			Nx: 140, L: 7e-3, TEnd: 0.12e-3, TAvg: 0.05e-3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(props.SL, "SL_m/s")            // paper: 1.8
+	b.ReportMetric(props.DeltaL*1e3, "deltaL_mm") // paper: 0.3
+	field := turb.NewField(turb.Spectrum{Urms: 3 * props.SL, L0: 4 * 0.7 * props.DeltaL}, 100, 9)
+	_, _, _ = field.At(0, 0, 0)
+}
+
+// --- Figure 12 ---
+
+func BenchmarkFig12FlameSurface(b *testing.B) {
+	g := grid.New(grid.Spec{Nx: 64, Ny: 48, Nz: 1, Lx: 1, Ly: 1, Lz: 1})
+	c := grid.NewField3(g)
+	c.Map(func(i, j, k int, _ float64) float64 {
+		return 0.5 + 0.5*math.Tanh(float64(j-24)/3+2*math.Sin(float64(i)/5))
+	})
+	r := &viz.Renderer{
+		Layers: []viz.Layer{{Field: c,
+			TF:  viz.IsoTF(0.65, 0.06, viz.RGBA{R: 0.95, G: 0.75, B: 0.2, A: 0.9}),
+			Min: 0, Max: 1, Shade: true}},
+		Cam:   viz.Camera{Elevation: math.Pi / 2},
+		Width: 240, Height: 180,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Render()
+	}
+}
+
+// --- Figure 13 ---
+
+func BenchmarkFig13GradC(b *testing.B) {
+	nx, ny := 128, 96
+	c := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			c[j*nx+i] = 0.5 + 0.5*math.Tanh(float64(j-ny/2)/4)
+		}
+	}
+	h := 2e-5
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		cond := stats.NewConditional(20, 0.02, 0.98)
+		for j := 1; j < ny-1; j++ {
+			for i := 1; i < nx-1; i++ {
+				gx := (c[j*nx+i+1] - c[j*nx+i-1]) / (2 * h)
+				gy := (c[(j+1)*nx+i] - c[(j-1)*nx+i]) / (2 * h)
+				cond.Add(c[j*nx+i], math.Sqrt(gx*gx+gy*gy)*3e-4)
+			}
+		}
+		cond.Bins()
+	}
+}
+
+// --- Figures 14–15 ---
+
+func BenchmarkFig14MultivariateRender(b *testing.B) {
+	g := grid.New(grid.Spec{Nx: 48, Ny: 36, Nz: 1, Lx: 1, Ly: 1, Lz: 1})
+	oh := grid.NewField3(g)
+	ho2 := grid.NewField3(g)
+	oh.Map(func(i, j, k int, _ float64) float64 {
+		return math.Exp(-float64((i-30)*(i-30)+(j-18)*(j-18)) / 60)
+	})
+	ho2.Map(func(i, j, k int, _ float64) float64 {
+		return math.Exp(-float64((i-16)*(i-16)+(j-18)*(j-18)) / 60)
+	})
+	r := &viz.Renderer{
+		Layers: []viz.Layer{
+			{Field: oh, TF: viz.HotTF(0.8), Min: 0, Max: 1},
+			{Field: ho2, TF: viz.CoolTF(0.8), Min: 0, Max: 1},
+		},
+		Cam:   viz.Camera{Elevation: math.Pi / 2},
+		Width: 240, Height: 180,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Render()
+	}
+}
+
+func BenchmarkFig15ParallelCoords(b *testing.B) {
+	samples := make([][]float64, 2000)
+	for i := range samples {
+		f := float64(i) / 2000
+		samples[i] = []float64{f, 1 - f, math.Abs(math.Sin(20 * f))}
+	}
+	pc := &viz.ParallelCoords{
+		VarNames: []string{"chi", "OH", "mixfrac"},
+		Samples:  samples,
+		Brush:    func(s []float64) bool { return s[2] < 0.1 },
+		Width:    320, Height: 200,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pc.Render(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 16–18 ---
+
+func BenchmarkFig16Workflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		root := b.TempDir()
+		cluster, err := workflow.NewCluster(filepath.Join(root, fmt.Sprint(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 1; s <= 3; s++ {
+			f := sdf.New()
+			f.Attrs["step"] = fmt.Sprint(s)
+			_ = f.AddVar("T.0", []int{64}, make([]float64, 64))
+			_ = f.AddVar("T.1", []int{64}, make([]float64, 64))
+			path := filepath.Join(cluster.JaguarRestart, fmt.Sprintf("restart-%04d.sdf", s))
+			if err := f.WriteFile(path); err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(path+".done", nil, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := cluster.StopAll(); err != nil {
+			b.Fatal(err)
+		}
+		wf, err := workflow.S3DMonitor(cluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := wf.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §2.6 numerics order ---
+
+func BenchmarkNumericsOrder(b *testing.B) {
+	// Report the measured convergence order of the eighth-order derivative
+	// as a custom metric (≈8, paper §2.6).
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		e1 := derivMaxErr(33)
+		e2 := derivMaxErr(65)
+		rate = math.Log2(e1 / e2)
+	}
+	b.ReportMetric(rate, "deriv_order")
+}
+
+func derivMaxErr(n int) float64 {
+	g := grid.New(grid.Spec{Nx: n, Ny: 3, Nz: 3, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	h := 1.0 / float64(n-1)
+	for k := -f.G; k < f.Nz+f.G; k++ {
+		for j := -f.G; j < f.Ny+f.G; j++ {
+			for i := -f.G; i < f.Nx+f.G; i++ {
+				f.Set(i, j, k, math.Sin(4*math.Pi*float64(i)*h))
+			}
+		}
+	}
+	d := grid.NewField3(g)
+	deriv.Diff(d, f, grid.X, g.MetX, deriv.UseGhosts, deriv.UseGhosts)
+	var max float64
+	for i := 0; i < n; i++ {
+		want := 4 * math.Pi * math.Cos(4*math.Pi*float64(i)*h)
+		if e := math.Abs(d.At(i, 1, 1) - want); e > max {
+			max = e
+		}
+	}
+	return max
+}

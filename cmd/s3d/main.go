@@ -1,0 +1,173 @@
+// Command s3d is the general DNS driver: it runs one of the built-in
+// problems (liftedjet, bunsen-a/b/c, or a periodic inert box) for a number
+// of steps, optionally over a multi-rank domain decomposition, periodically
+// reporting min/max monitoring quantities and writing SDF checkpoints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/s3dgo/s3d"
+	"github.com/s3dgo/s3d/internal/sdf"
+)
+
+func main() {
+	problem := flag.String("problem", "liftedjet", "liftedjet | bunsen-a | bunsen-b | bunsen-c | box")
+	nx := flag.Int("nx", 72, "streamwise grid points")
+	ny := flag.Int("ny", 54, "transverse grid points")
+	nz := flag.Int("nz", 1, "spanwise grid points")
+	steps := flag.Int("steps", 100, "time steps")
+	ranks := flag.String("ranks", "", "decomposition as PXxPYxPZ (empty = serial)")
+	ckptEvery := flag.Int("checkpoint", 0, "write an SDF checkpoint every N steps (0: off)")
+	resume := flag.String("resume", "", "restart file to resume from (bit-exact continuation)")
+	outDir := flag.String("out", "out_s3d", "output directory")
+	flag.Parse()
+
+	prob := buildProblem(*problem, *nx, *ny, *nz)
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	if *ranks != "" {
+		runDecomposed(prob, *ranks, *steps)
+		return
+	}
+	sim, err := prob.NewSimulation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *resume != "" {
+		in, err := os.Open(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.LoadCheckpoint(in); err != nil {
+			log.Fatal(err)
+		}
+		in.Close()
+		fmt.Printf("resumed from %s at step %d, t = %.4g s\n", *resume, sim.Step(), sim.Time())
+	}
+	dt := 0.4 * sim.StableDt()
+	fmt.Printf("problem=%s grid=%dx%dx%d dt=%.3g\n", *problem, *nx, *ny, *nz, dt)
+	report := *steps / 10
+	if report == 0 {
+		report = 1
+	}
+	for sim.Step() < *steps {
+		n := report
+		if sim.Step()+n > *steps {
+			n = *steps - sim.Step()
+		}
+		sim.Advance(n, dt)
+		tlo, thi, _ := sim.MinMax("T")
+		plo, phi, _ := sim.MinMax("p")
+		fmt.Printf("step %5d t=%.4g  T=[%.0f,%.0f]  p=[%.0f,%.0f]\n",
+			sim.Step(), sim.Time(), tlo, thi, plo, phi)
+		if *ckptEvery > 0 && sim.Step()%*ckptEvery == 0 {
+			if err := writeCheckpoint(sim, *outDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := writeCheckpoint(sim, *outDir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildProblem(name string, nx, ny, nz int) *s3d.Problem {
+	switch {
+	case name == "liftedjet":
+		p, err := s3d.LiftedJetProblem(s3d.LiftedJetOptions{Nx: nx, Ny: ny, Nz: nz, IgnitionKernel: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	case strings.HasPrefix(name, "bunsen-"):
+		id := byte(strings.ToUpper(strings.TrimPrefix(name, "bunsen-"))[0])
+		p, err := s3d.BunsenProblem(s3d.BunsenOptions{Case: id, Nx: nx, Ny: ny, Nz: nz, VelocityScale: 0.5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	case name == "box":
+		mech := s3d.HydrogenAir()
+		yAir := make([]float64, mech.NumSpecies())
+		yAir[mech.SpeciesIndex("O2")] = 0.233
+		yAir[mech.SpeciesIndex("N2")] = 0.767
+		cfg := s3d.Config{
+			Mechanism:    mech,
+			Grid:         s3d.GridSpec{Nx: nx, Ny: ny, Nz: nz, Lx: 0.01, Ly: 0.01, Lz: 0.01},
+			Pressure:     101325,
+			ChemistryOff: true,
+			FilterEvery:  10,
+		}
+		return &s3d.Problem{
+			Config: cfg,
+			Initial: func(x, y, z float64, s *s3d.State) {
+				s.T = 300
+				copy(s.Y, yAir)
+			},
+		}
+	default:
+		log.Fatalf("unknown problem %q", name)
+		return nil
+	}
+}
+
+func runDecomposed(prob *s3d.Problem, ranks string, steps int) {
+	var dims [3]int
+	if n, err := fmt.Sscanf(strings.ToLower(ranks), "%dx%dx%d", &dims[0], &dims[1], &dims[2]); n != 3 || err != nil {
+		log.Fatalf("bad -ranks %q (want e.g. 2x2x1)", ranks)
+	}
+	fmt.Printf("decomposed run on %v ranks\n", dims)
+	err := s3d.RunDecomposed(prob.Config, dims, func(r *s3d.RankSim) {
+		r.SetInitial(prob.Initial, prob.InitPressure)
+		dt := 0.4 * r.StableDt()
+		r.Advance(steps, dt)
+		lo, hi, _ := r.MinMax("T")
+		fmt.Printf("rank %d offset %v: T=[%.0f,%.0f]\n", r.Rank, r.Offset, lo, hi)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeCheckpoint(sim *s3d.Simulation, outDir string) error {
+	// A true restart file (full conserved state, bit-exact resume)...
+	rst := filepath.Join(outDir, fmt.Sprintf("restart-%06d.sdf", sim.Step()))
+	out, err := os.Create(rst)
+	if err != nil {
+		return err
+	}
+	if err := sim.SaveCheckpoint(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	// ...plus an analysis file with the derived fields the workflow plots.
+	f := sdf.New()
+	f.Attrs["step"] = fmt.Sprint(sim.Step())
+	f.Attrs["time"] = fmt.Sprint(sim.Time())
+	for _, name := range []string{"rho", "u", "v", "w", "T", "p"} {
+		data, dims, err := sim.Field(name)
+		if err != nil {
+			return err
+		}
+		if err := f.AddVar(name, dims[:], data); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("analysis-%06d.sdf", sim.Step()))
+	if err := f.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Println("wrote", rst, "and", path)
+	return nil
+}

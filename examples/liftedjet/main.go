@@ -1,0 +1,76 @@
+// Liftedjet: runs a small 2-D version of the paper's §6 configuration — a
+// cold H2/N2 jet issuing into hot coflowing air — and tracks the
+// autoignition-stabilisation signature in-situ: the HO2 radical pool forms
+// upstream of the OH flame base.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/s3dgo/s3d"
+)
+
+func main() {
+	p, err := s3d.LiftedJetProblem(s3d.LiftedJetOptions{
+		Nx: 64, Ny: 48, Nz: 1,
+		IgnitionKernel: true,
+		Seed:           42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := p.NewSimulation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dt := 0.4 * sim.StableDt()
+	x, _, _ := sim.Coords()
+
+	fmt.Println("step   t(µs)   T_max(K)   xlead_HO2(mm)   xlead_OH(mm)")
+	for i := 0; i < 8; i++ {
+		sim.Advance(25, dt)
+		_, tMax, _ := sim.MinMax("T")
+		fmt.Printf("%4d   %5.1f   %7.0f   %13.3f   %12.3f\n",
+			sim.Step(), sim.Time()*1e6, tMax,
+			leadingEdge(sim, x, "Y_HO2")*1e3, leadingEdge(sim, x, "Y_OH")*1e3)
+	}
+	xHO2 := leadingEdge(sim, x, "Y_HO2")
+	xOH := leadingEdge(sim, x, "Y_OH")
+	if xHO2 < xOH {
+		fmt.Println("\nThe HO2 pool extends upstream of the OH flame base: the flame is")
+		fmt.Println("stabilised by autoignition in the hot coflow, not by propagation (§6.3).")
+	} else {
+		fmt.Println("\nHO2/OH ordering not yet established — run more steps.")
+	}
+}
+
+// leadingEdge returns the most upstream x where the species exceeds 20% of
+// its peak — the flame-base marker used in §6.3's discussion.
+func leadingEdge(sim *s3d.Simulation, x []float64, field string) float64 {
+	data, dims, err := sim.Field(field)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peak float64
+	for _, v := range data {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		return math.NaN()
+	}
+	thresh := 0.2 * peak
+	for i := 0; i < dims[0]; i++ {
+		for k := 0; k < dims[2]; k++ {
+			for j := 0; j < dims[1]; j++ {
+				if data[(k*dims[1]+j)*dims[0]+i] > thresh {
+					return x[i]
+				}
+			}
+		}
+	}
+	return math.NaN()
+}

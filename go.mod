@@ -1,0 +1,3 @@
+module github.com/s3dgo/s3d
+
+go 1.22

@@ -1,0 +1,188 @@
+package s3d
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/stats"
+	"github.com/s3dgo/s3d/internal/viz"
+)
+
+// fieldRef is a zero-copy view of live solver storage.
+type fieldRef = *grid.Field3
+
+// In-situ visualization (paper §8.3): for extreme-scale runs the data
+// cannot be staged to disk and post-processed, so "the visualization code
+// must interact directly with the simulation code" and "share the same
+// data structures". AdvanceInSitu threads an observer through the time
+// loop, and InSituImager renders frames straight from the solver's live
+// fields — no copies, no I/O of raw data, only the rendered images leave
+// the run.
+
+// Observer is called with the live simulation between step bursts.
+type Observer func(s *Simulation)
+
+// AdvanceInSitu integrates n steps of size dt, invoking the observer every
+// `every` steps (and once at the end). Primitives are refreshed before each
+// observation so observers read a consistent state.
+func (s *Simulation) AdvanceInSitu(n int, dt float64, every int, obs Observer) {
+	if every <= 0 {
+		every = n
+	}
+	done := 0
+	for done < n {
+		burst := every
+		if done+burst > n {
+			burst = n - done
+		}
+		s.blk.Advance(burst, dt)
+		done += burst
+		s.blk.RefreshPrimitives()
+		if obs != nil {
+			obs(s)
+		}
+	}
+}
+
+// InSituImager renders a two-layer fused volume image of the named fields
+// directly from solver storage at each observation, writing numbered PNGs.
+// A nil second field name renders a single layer.
+type InSituImager struct {
+	Dir            string
+	FieldA, FieldB string
+	Width, Height  int
+
+	frames int
+}
+
+// Observer returns the Observer that renders one frame per call.
+func (im *InSituImager) Observer() (Observer, error) {
+	if err := os.MkdirAll(im.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	w, h := im.Width, im.Height
+	if w == 0 {
+		w = 320
+	}
+	if h == 0 {
+		h = 240
+	}
+	return func(s *Simulation) {
+		layers := make([]viz.Layer, 0, 2)
+		add := func(name string, tf *viz.TransferFunc) {
+			f := s.solverField(name)
+			if f == nil {
+				return
+			}
+			lo, hi := f.MinMax()
+			if hi <= lo {
+				hi = lo + 1
+			}
+			layers = append(layers, viz.Layer{Field: f, TF: tf, Min: lo, Max: hi})
+		}
+		add(im.FieldA, viz.HotTF(0.85))
+		if im.FieldB != "" {
+			add(im.FieldB, viz.CoolTF(0.85))
+		}
+		r := &viz.Renderer{
+			Layers: layers,
+			Cam:    frontCamera(s),
+			Width:  w, Height: h,
+			Background: viz.RGBA{R: 0.02, G: 0.02, B: 0.04, A: 1},
+		}
+		path := filepath.Join(im.Dir, fmt.Sprintf("frame-%05d.png", im.frames))
+		im.frames++
+		out, err := os.Create(path)
+		if err != nil {
+			return // in-situ rendering must never take the simulation down
+		}
+		defer out.Close()
+		_ = viz.WritePNG(out, r.Render())
+	}, nil
+}
+
+// Frames returns the number of frames written so far.
+func (im *InSituImager) Frames() int { return im.frames }
+
+// frontCamera picks a view axis that sees the largest face.
+func frontCamera(s *Simulation) viz.Camera {
+	nx, ny, nz := s.Dims()
+	switch {
+	case nz <= nx && nz <= ny:
+		return viz.Camera{Elevation: 1.5707963267948966} // look along z
+	case ny <= nx:
+		return viz.Camera{Azimuth: 1.5707963267948966} // look along y
+	default:
+		return viz.Camera{}
+	}
+}
+
+// solverField exposes the live solver field for zero-copy in-situ use;
+// nil for unknown names. (Interior values only are meaningful.)
+func (s *Simulation) solverField(name string) fieldRef {
+	switch name {
+	case "rho":
+		return s.blk.Rho
+	case "u":
+		return s.blk.U
+	case "v":
+		return s.blk.V
+	case "w":
+		return s.blk.W
+	case "T":
+		return s.blk.T
+	case "p":
+		return s.blk.P
+	}
+	if len(name) > 2 && name[:2] == "Y_" {
+		if idx := s.mech.SpeciesIndex(name[2:]); idx >= 0 {
+			return s.blk.Y[idx]
+		}
+	}
+	return nil
+}
+
+// InSituHistogram accumulates per-observation histograms of a field — the
+// time-histogram feed of the §8.2 interface, built in-situ.
+type InSituHistogram struct {
+	Field     string
+	Bins      int
+	Lo, Hi    float64
+	Snapshots [][]float64
+}
+
+// Observer returns the accumulating Observer.
+func (ih *InSituHistogram) Observer() Observer {
+	if ih.Bins == 0 {
+		ih.Bins = 32
+	}
+	return func(s *Simulation) {
+		f := s.solverField(ih.Field)
+		if f == nil {
+			return
+		}
+		lo, hi := ih.Lo, ih.Hi
+		if hi <= lo {
+			lo, hi = f.MinMax()
+			if hi <= lo {
+				hi = lo + 1
+			}
+		}
+		h := stats.NewHistogram(ih.Bins, lo, hi)
+		f.Each(func(_, _, _ int, v float64) { h.Add(v) })
+		ih.Snapshots = append(ih.Snapshots, h.Normalized())
+	}
+}
+
+// Compose chains observers.
+func Compose(obs ...Observer) Observer {
+	return func(s *Simulation) {
+		for _, o := range obs {
+			if o != nil {
+				o(s)
+			}
+		}
+	}
+}

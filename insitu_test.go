@@ -1,0 +1,107 @@
+package s3d
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func inertBoxSim(t *testing.T) *Simulation {
+	t.Helper()
+	mech := HydrogenAir()
+	sim, err := New(Config{
+		Mechanism:    mech,
+		Grid:         GridSpec{Nx: 16, Ny: 12, Nz: 1, Lx: 0.01, Ly: 0.01, Lz: 0.01},
+		Pressure:     101325,
+		ChemistryOff: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yAir := make([]float64, mech.NumSpecies())
+	yAir[mech.SpeciesIndex("O2")] = 0.233
+	yAir[mech.SpeciesIndex("N2")] = 0.767
+	sim.SetInitial(func(x, y, z float64, s *State) {
+		s.T = 300 + 200*x/0.01
+		copy(s.Y, yAir)
+	}, nil)
+	return sim
+}
+
+func TestAdvanceInSituObserverCadence(t *testing.T) {
+	sim := inertBoxSim(t)
+	dt := 0.5 * sim.StableDt()
+	calls := 0
+	sim.AdvanceInSitu(10, dt, 3, func(s *Simulation) { calls++ })
+	// Bursts: 3+3+3+1 → 4 observations.
+	if calls != 4 {
+		t.Fatalf("observer calls = %d, want 4", calls)
+	}
+	if sim.Step() != 10 {
+		t.Fatalf("steps = %d, want 10", sim.Step())
+	}
+}
+
+func TestInSituImagerWritesFrames(t *testing.T) {
+	sim := inertBoxSim(t)
+	dir := filepath.Join(t.TempDir(), "frames")
+	im := &InSituImager{Dir: dir, FieldA: "T", FieldB: "p", Width: 48, Height: 36}
+	obs, err := im.Observer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := 0.5 * sim.StableDt()
+	sim.AdvanceInSitu(6, dt, 2, obs)
+	if im.Frames() != 3 {
+		t.Fatalf("frames = %d, want 3", im.Frames())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("frame files = %d (%v)", len(entries), err)
+	}
+	// Frames are valid PNGs with content.
+	info, err := entries[0].Info()
+	if err != nil || info.Size() < 100 {
+		t.Fatalf("suspicious frame size: %v %v", info, err)
+	}
+}
+
+func TestInSituHistogramAccumulates(t *testing.T) {
+	sim := inertBoxSim(t)
+	ih := &InSituHistogram{Field: "T", Bins: 16}
+	dt := 0.5 * sim.StableDt()
+	sim.AdvanceInSitu(4, dt, 2, ih.Observer())
+	if len(ih.Snapshots) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(ih.Snapshots))
+	}
+	var sum float64
+	for _, p := range ih.Snapshots[0] {
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("histogram not normalised: %g", sum)
+	}
+}
+
+func TestComposeObservers(t *testing.T) {
+	sim := inertBoxSim(t)
+	a, b := 0, 0
+	obs := Compose(func(*Simulation) { a++ }, nil, func(*Simulation) { b++ })
+	sim.AdvanceInSitu(2, 1e-7, 1, obs)
+	if a != 2 || b != 2 {
+		t.Fatalf("composed observers ran %d/%d times", a, b)
+	}
+}
+
+func TestSolverFieldUnknown(t *testing.T) {
+	sim := inertBoxSim(t)
+	if sim.solverField("nonsense") != nil {
+		t.Fatal("unknown field should be nil")
+	}
+	if sim.solverField("Y_ZZ") != nil {
+		t.Fatal("unknown species should be nil")
+	}
+	if sim.solverField("Y_OH") == nil || sim.solverField("rho") == nil {
+		t.Fatal("known fields missing")
+	}
+}

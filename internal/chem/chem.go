@@ -1,0 +1,299 @@
+// Package chem implements the detailed chemical kinetics of S3D: elementary
+// reactions with modified-Arrhenius rates, reverse rates from equilibrium
+// constants, third-body enhancements, Lindemann/Troe pressure falloff and
+// duplicate reactions, together with a CHEMKIN-format-like mechanism parser.
+//
+// The original S3D evaluates reaction rates through the CHEMKIN library
+// (paper §2.6). This package plays that role: a Mechanism owns a
+// thermo.Set and a reaction list and evaluates molar production rates
+// ω̇ᵢ (mol/(m³·s)) for the species equations (paper eq. 4).
+//
+// Rate-constant inputs follow CHEMKIN conventions (A in mol/cm³ units, E in
+// cal/mol) and are converted to SI at load time.
+package chem
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/s3dgo/s3d/internal/thermo"
+)
+
+// CalPerMol converts activation energies from cal/mol to J/mol.
+const CalPerMol = 4.184
+
+// P0 is the standard-state pressure (Pa) used in equilibrium constants.
+const P0 = 101325.0
+
+// SpecCoef is one species' stoichiometric participation in a reaction side.
+type SpecCoef struct {
+	Index int
+	Nu    int
+}
+
+// Arrhenius holds modified-Arrhenius parameters in SI units (concentrations
+// in mol/m³, E in J/mol): k = A·Tⁿ·exp(−E/(Ru·T)).
+type Arrhenius struct {
+	A, N, E float64
+}
+
+// K evaluates the rate constant at temperature T.
+func (a Arrhenius) K(T float64) float64 {
+	return a.A * math.Pow(T, a.N) * math.Exp(-a.E/(thermo.R*T))
+}
+
+// kFast evaluates the rate constant with precomputed ln A, ln T and 1/(RuT)
+// using a single exponential — the hot path of ProductionRates.
+func (a Arrhenius) kFast(lnA, lnT, invRT float64) float64 {
+	if a.N == 0 && a.E == 0 {
+		return a.A
+	}
+	return math.Exp(lnA + a.N*lnT - a.E*invRT)
+}
+
+// Troe holds the Troe falloff broadening parameters. T2 == 0 disables the
+// optional fourth parameter.
+type Troe struct {
+	Alpha, T3, T1, T2 float64
+}
+
+// Falloff describes a pressure-dependent reaction: the high-pressure limit
+// lives in Reaction.Fwd, Low is the low-pressure limit, and Troe (optional)
+// the broadening function; nil TroeF means Lindemann.
+type Falloff struct {
+	Low   Arrhenius
+	TroeF *Troe
+}
+
+// Reaction is one elementary step.
+type Reaction struct {
+	Equation   string
+	Reactants  []SpecCoef
+	Products   []SpecCoef
+	Fwd        Arrhenius
+	Reversible bool
+	// ThirdBody marks +M reactions; Eff holds non-unit collision
+	// efficiencies by species index.
+	ThirdBody bool
+	Eff       map[int]float64
+	Falloff   *Falloff
+	Duplicate bool
+
+	dNu int // Σν_products − Σν_reactants, for Kc
+}
+
+// Mechanism is a reaction mechanism bound to a thermodynamic species set.
+type Mechanism struct {
+	Name      string
+	Set       *thermo.Set
+	Reactions []*Reaction
+
+	// scratch sized at construction so production-rate evaluation is
+	// allocation-free; Mechanism is therefore not safe for concurrent use —
+	// each solver rank clones its own (see Clone).
+	gRT []float64
+	// Precomputed ln A of the forward and low-pressure rate constants.
+	lnAf, lnAlow []float64
+}
+
+// NewMechanism wires reactions to a species set and finalises derived data.
+func NewMechanism(name string, set *thermo.Set, reactions []*Reaction) *Mechanism {
+	for _, r := range reactions {
+		r.dNu = 0
+		for _, p := range r.Products {
+			r.dNu += p.Nu
+		}
+		for _, rc := range r.Reactants {
+			r.dNu -= rc.Nu
+		}
+	}
+	m := &Mechanism{
+		Name:      name,
+		Set:       set,
+		Reactions: reactions,
+		gRT:       make([]float64, set.Len()),
+		lnAf:      make([]float64, len(reactions)),
+		lnAlow:    make([]float64, len(reactions)),
+	}
+	for i, r := range reactions {
+		m.lnAf[i] = math.Log(r.Fwd.A)
+		if r.Falloff != nil {
+			m.lnAlow[i] = math.Log(r.Falloff.Low.A)
+		}
+	}
+	return m
+}
+
+// Clone returns a Mechanism sharing the immutable reaction data but owning
+// private scratch, for use by concurrent solver ranks.
+func (m *Mechanism) Clone() *Mechanism {
+	return &Mechanism{
+		Name: m.Name, Set: m.Set, Reactions: m.Reactions,
+		gRT:  make([]float64, m.Set.Len()),
+		lnAf: m.lnAf, lnAlow: m.lnAlow,
+	}
+}
+
+// NumSpecies returns the species count.
+func (m *Mechanism) NumSpecies() int { return m.Set.Len() }
+
+// Concentrations fills C (mol/m³) from density (kg/m³) and mass fractions.
+func (m *Mechanism) Concentrations(rho float64, Y, C []float64) {
+	for i, sp := range m.Set.Species {
+		C[i] = rho * Y[i] / sp.W
+	}
+}
+
+// ProductionRates evaluates the molar production rate ω̇ᵢ of every species
+// at temperature T (K) given concentrations C (mol/m³), accumulating into
+// wdot (which is zeroed first). Units: mol/(m³·s).
+func (m *Mechanism) ProductionRates(T float64, C, wdot []float64) {
+	for i := range wdot {
+		wdot[i] = 0
+	}
+	// Species Gibbs functions, shared by all reverse-rate evaluations.
+	for i, sp := range m.Set.Species {
+		m.gRT[i] = sp.GRT(T)
+	}
+	lnT := math.Log(T)
+	invRT := 1 / (thermo.R * T)
+	logC0 := math.Log(P0/thermo.R) - lnT // ln of standard concentration (mol/m³)
+
+	for ri, r := range m.Reactions {
+		kf := r.Fwd.kFast(m.lnAf[ri], lnT, invRT)
+
+		// Third-body concentration.
+		cm := 1.0
+		if r.ThirdBody || r.Falloff != nil {
+			cm = 0
+			for i := range C {
+				cm += C[i]
+			}
+			for i, e := range r.Eff {
+				cm += (e - 1) * C[i]
+			}
+			if cm < 0 {
+				cm = 0
+			}
+		}
+
+		// Pressure falloff blending.
+		if r.Falloff != nil {
+			k0 := r.Falloff.Low.kFast(m.lnAlow[ri], lnT, invRT)
+			pr := k0 * cm / kf
+			f := 1.0
+			if r.Falloff.TroeF != nil && pr > 0 {
+				f = troeF(r.Falloff.TroeF, T, pr)
+			}
+			kf *= pr / (1 + pr) * f
+			cm = 1 // the falloff form already includes [M]
+		}
+
+		// Forward and reverse progress.
+		qf := kf
+		for _, rc := range r.Reactants {
+			qf *= powInt(C[rc.Index], rc.Nu)
+		}
+		var qr float64
+		if r.Reversible {
+			// ln Kc = −Σνᵢ·gᵢ/(RT) + Δν·ln(c0).
+			var dg float64
+			for _, p := range r.Products {
+				dg += float64(p.Nu) * m.gRT[p.Index]
+			}
+			for _, rc := range r.Reactants {
+				dg -= float64(rc.Nu) * m.gRT[rc.Index]
+			}
+			lnKc := -dg + float64(r.dNu)*logC0
+			// Clamp to avoid overflow for strongly exothermic steps at low T;
+			// a Kc this large means the reverse rate is numerically zero.
+			if lnKc > 230 {
+				lnKc = 230
+			}
+			kr := kf / math.Exp(lnKc)
+			qr = kr
+			for _, p := range r.Products {
+				qr *= powInt(C[p.Index], p.Nu)
+			}
+		}
+
+		rate := (qf - qr) * cm
+		for _, rc := range r.Reactants {
+			wdot[rc.Index] -= float64(rc.Nu) * rate
+		}
+		for _, p := range r.Products {
+			wdot[p.Index] += float64(p.Nu) * rate
+		}
+	}
+}
+
+// HeatReleaseRate returns −Σᵢ ω̇ᵢ·hᵢ(T) in W/m³ (positive for exothermic
+// states), the diagnostic used for the flame-thickness measure δ_H.
+func (m *Mechanism) HeatReleaseRate(T float64, wdot []float64) float64 {
+	var q float64
+	for i, sp := range m.Set.Species {
+		q -= wdot[i] * sp.HMolar(T)
+	}
+	return q
+}
+
+// troeF evaluates the Troe broadening factor.
+func troeF(tr *Troe, T, pr float64) float64 {
+	fc := (1-tr.Alpha)*math.Exp(-T/tr.T3) + tr.Alpha*math.Exp(-T/tr.T1)
+	if tr.T2 != 0 {
+		fc += math.Exp(-tr.T2 / T)
+	}
+	if fc <= 0 {
+		return 1
+	}
+	logFc := math.Log10(fc)
+	c := -0.4 - 0.67*logFc
+	n := 0.75 - 1.27*logFc
+	const d = 0.14
+	logPr := math.Log10(pr)
+	x := (logPr + c) / (n - d*(logPr+c))
+	logF := logFc / (1 + x*x)
+	return math.Pow(10, logF)
+}
+
+// powInt computes cⁿ for small positive integer n without math.Pow.
+func powInt(c float64, n int) float64 {
+	switch n {
+	case 1:
+		return c
+	case 2:
+		return c * c
+	case 3:
+		return c * c * c
+	default:
+		p := 1.0
+		for i := 0; i < n; i++ {
+			p *= c
+		}
+		return p
+	}
+}
+
+// CheckBalance verifies elemental balance of every reaction; parsers call it
+// so a typo in a mechanism is caught at load, as CHEMKIN's interpreter does.
+func (m *Mechanism) CheckBalance() error {
+	for _, r := range m.Reactions {
+		bal := map[string]int{}
+		for _, rc := range r.Reactants {
+			for el, n := range m.Set.Species[rc.Index].Elem {
+				bal[el] -= rc.Nu * n
+			}
+		}
+		for _, p := range r.Products {
+			for el, n := range m.Set.Species[p.Index].Elem {
+				bal[el] += p.Nu * n
+			}
+		}
+		for el, n := range bal {
+			if n != 0 {
+				return fmt.Errorf("chem: reaction %q unbalanced in element %s (%+d)", r.Equation, el, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package chem
+
+// Embedded mechanisms. The paper's lifted-flame simulation used detailed
+// hydrogen/air chemistry (9 species, "14 variables" including the 5 flow
+// variables) and the Bunsen simulations a reduced methane–air mechanism
+// ("18 variables"). The H2/air mechanism below follows the widely used
+// Li/Mueller-style detailed scheme; the CH4/air mechanism is a compact
+// GRI-derived skeletal scheme carrying the full H2/O2 subsystem plus the
+// C1 oxidation path. Rate parameters are standard literature values to
+// working precision — adequate for every qualitative result reproduced here
+// (see DESIGN.md, substitution table).
+
+// H2AirText is the detailed hydrogen/air mechanism (9 species, 21 steps).
+const H2AirText = `
+! Detailed H2/air mechanism (Li et al. style), CHEMKIN-like format.
+! A in cgs (mol, cm3, s), E in cal/mol.
+ELEMENTS
+H O N
+END
+SPECIES
+H2 O2 O OH H2O H HO2 H2O2 N2
+END
+REACTIONS
+H+O2=O+OH            3.547E15  -0.406  16599
+O+H2=H+OH            0.508E05   2.67    6290
+H2+OH=H2O+H          0.216E09   1.51    3430
+O+H2O=OH+OH          2.970E06   2.02   13400
+H2+M=H+H+M           4.577E19  -1.40  104380
+  H2/2.5/ H2O/12.0/
+O+O+M=O2+M           6.165E15  -0.50       0
+  H2/2.5/ H2O/12.0/
+O+H+M=OH+M           4.714E18  -1.00       0
+  H2/2.5/ H2O/12.0/
+H+OH+M=H2O+M         3.800E22  -2.00       0
+  H2/2.5/ H2O/12.0/
+H+O2(+M)=HO2(+M)     1.475E12   0.60       0
+  LOW /6.366E20 -1.72 524.8/
+  TROE /0.8 1E-30 1E30/
+  H2/2.0/ H2O/11.0/ O2/0.78/
+HO2+H=H2+O2          1.660E13   0.00     823
+HO2+H=OH+OH          7.079E13   0.00     295
+HO2+O=O2+OH          3.250E13   0.00       0
+HO2+OH=H2O+O2        2.890E13   0.00    -497
+HO2+HO2=H2O2+O2      4.200E14   0.00   11982
+  DUP
+HO2+HO2=H2O2+O2      1.300E11   0.00   -1629.3
+  DUP
+H2O2(+M)=OH+OH(+M)   2.951E14   0.00   48430
+  LOW /1.202E17 0.0 45500/
+  TROE /0.5 1E-30 1E30/
+  H2/2.5/ H2O/12.0/
+H2O2+H=H2O+OH        2.410E13   0.00    3970
+H2O2+H=HO2+H2        4.820E13   0.00    7950
+H2O2+O=OH+HO2        9.550E06   2.00    3970
+H2O2+OH=HO2+H2O      1.000E12   0.00       0
+  DUP
+H2O2+OH=HO2+H2O      5.800E14   0.00    9557
+  DUP
+END
+`
+
+// CH4SkeletalText is a skeletal methane/air mechanism (14 species) built
+// from the H2/O2 subsystem plus a C1 path (CH4 → CH3 → CH2O → HCO → CO →
+// CO2), the same structural reduction style as the mechanism used for the
+// paper's Bunsen runs.
+const CH4SkeletalText = `
+! Skeletal CH4/air mechanism (GRI-derived C1 path over the H2/O2 core).
+ELEMENTS
+C H O N
+END
+SPECIES
+CH4 O2 N2 CH3 CH2O HCO CO CO2 H2 H O OH H2O HO2
+END
+REACTIONS
+! --- H2/O2 core ---
+H+O2=O+OH            3.547E15  -0.406  16599
+O+H2=H+OH            0.508E05   2.67    6290
+H2+OH=H2O+H          0.216E09   1.51    3430
+O+H2O=OH+OH          2.970E06   2.02   13400
+H2+M=H+H+M           4.577E19  -1.40  104380
+  H2/2.5/ H2O/12.0/ CO/1.9/ CO2/3.8/ CH4/2.0/
+O+O+M=O2+M           6.165E15  -0.50       0
+  H2/2.5/ H2O/12.0/ CO/1.9/ CO2/3.8/
+O+H+M=OH+M           4.714E18  -1.00       0
+  H2/2.5/ H2O/12.0/ CO/1.9/ CO2/3.8/
+H+OH+M=H2O+M         3.800E22  -2.00       0
+  H2/2.5/ H2O/12.0/ CO/1.9/ CO2/3.8/
+H+O2(+M)=HO2(+M)     1.475E12   0.60       0
+  LOW /6.366E20 -1.72 524.8/
+  TROE /0.8 1E-30 1E30/
+  H2/2.0/ H2O/11.0/ O2/0.78/ CO/1.9/ CO2/3.8/
+HO2+H=H2+O2          1.660E13   0.00     823
+HO2+H=OH+OH          7.079E13   0.00     295
+HO2+O=O2+OH          3.250E13   0.00       0
+HO2+OH=H2O+O2        2.890E13   0.00    -497
+! --- CO oxidation ---
+CO+OH=CO2+H          4.760E07   1.228     70
+CO+HO2=CO2+OH        1.500E14   0.00   23600
+CO+O+M=CO2+M         6.020E14   0.00    3000
+  H2/2.0/ H2O/6.0/ CO/1.5/ CO2/3.5/
+CO+O2=CO2+O          2.500E12   0.00   47800
+! --- C1 path ---
+CH4+H=CH3+H2         6.600E08   1.62   10840
+CH4+OH=CH3+H2O       1.000E08   1.60    3120
+CH4+O=CH3+OH         1.020E09   1.50    8600
+CH3+H(+M)=CH4(+M)    1.270E16  -0.63     383
+  LOW /2.477E33 -4.76 2440/
+  TROE /0.783 74 2941 6964/
+  H2O/6.0/ CH4/2.0/ CO/1.5/ CO2/2.0/
+CH3+O=CH2O+H         5.060E13   0.00       0
+CH3+O2=CH2O+OH       3.600E10   0.00    8940
+CH3+HO2=CH4+O2       1.000E12   0.00       0
+CH2O+H=HCO+H2        5.740E07   1.90    2742
+CH2O+OH=HCO+H2O      3.430E09   1.18    -447
+CH2O+O=HCO+OH        3.900E13   0.00    3540
+HCO+M=H+CO+M         1.870E17  -1.00   17000
+  H2O/12.0/ CO/1.9/ CO2/3.8/ H2/2.5/
+HCO+H=CO+H2          7.340E13   0.00       0
+HCO+O2=CO+HO2        1.345E13   0.00     400
+HCO+OH=CO+H2O        5.000E13   0.00       0
+END
+`
+
+// H2Air returns a fresh instance of the detailed hydrogen/air mechanism.
+func H2Air() *Mechanism { return MustParse("H2/air detailed", H2AirText) }
+
+// CH4Skeletal returns a fresh instance of the skeletal methane/air mechanism.
+func CH4Skeletal() *Mechanism { return MustParse("CH4/air skeletal", CH4SkeletalText) }

@@ -1,0 +1,391 @@
+package chem
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/s3dgo/s3d/internal/thermo"
+)
+
+// Parse reads a mechanism in a CHEMKIN-like text format:
+//
+//	! comment
+//	ELEMENTS
+//	H O N
+//	END
+//	SPECIES
+//	H2 O2 OH ...
+//	END
+//	REACTIONS
+//	H+O2=O+OH            3.547E15  -0.406  16599
+//	H2+M=H+H+M           4.577E19  -1.40   104380
+//	  H2/2.5/ H2O/12.0/
+//	H+O2(+M)=HO2(+M)     1.475E12   0.60   0
+//	  LOW /6.366E20 -1.72 524.8/
+//	  TROE /0.8 1E-30 1E30/
+//	END
+//
+// Pre-exponential factors are in CHEMKIN cgs units (mol, cm³, s) and
+// activation energies in cal/mol, converted to SI internally. "=" and "<=>"
+// denote reversible reactions, "=>" irreversible. Species thermodynamic data
+// come from the package thermo database.
+func Parse(name, text string) (*Mechanism, error) {
+	var speciesNames []string
+	var reactions []*Reaction
+	section := ""
+	var last *reactionDraft // pending reaction for auxiliary lines
+	var drafts []*reactionDraft
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '!'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "ELEMENTS"):
+			section = "elements"
+			continue
+		case strings.HasPrefix(upper, "SPECIES"):
+			section = "species"
+			continue
+		case strings.HasPrefix(upper, "REACTIONS"):
+			section = "reactions"
+			continue
+		case upper == "END":
+			section = ""
+			continue
+		}
+		switch section {
+		case "elements":
+			// Elements are implicit in the thermo database; accepted and ignored.
+		case "species":
+			speciesNames = append(speciesNames, strings.Fields(line)...)
+		case "reactions":
+			if isAuxLine(upper) {
+				if last == nil {
+					return nil, fmt.Errorf("chem: line %d: auxiliary data before any reaction", lineNo)
+				}
+				if err := parseAux(last, line); err != nil {
+					return nil, fmt.Errorf("chem: line %d: %v", lineNo, err)
+				}
+				continue
+			}
+			d, err := parseReactionLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("chem: line %d: %v", lineNo, err)
+			}
+			drafts = append(drafts, d)
+			last = d
+		default:
+			return nil, fmt.Errorf("chem: line %d: data outside any section: %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(speciesNames) == 0 {
+		return nil, fmt.Errorf("chem: mechanism %q declares no species", name)
+	}
+
+	set, err := thermo.NewSet(speciesNames...)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range drafts {
+		r, err := d.build(set)
+		if err != nil {
+			return nil, err
+		}
+		reactions = append(reactions, r)
+	}
+	m := NewMechanism(name, set, reactions)
+	if err := m.CheckBalance(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustParse is Parse for embedded mechanisms, panicking on error.
+func MustParse(name, text string) *Mechanism {
+	m, err := Parse(name, text)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func isAuxLine(upper string) bool {
+	return strings.HasPrefix(upper, "LOW") || strings.HasPrefix(upper, "TROE") ||
+		upper == "DUP" || upper == "DUPLICATE" ||
+		(strings.Contains(upper, "/") && !strings.ContainsAny(upper, "=<>"))
+}
+
+// reactionDraft carries a parsed line until species indices can be resolved.
+type reactionDraft struct {
+	equation   string
+	reactants  []termDraft
+	products   []termDraft
+	a, n, e    float64
+	reversible bool
+	thirdBody  bool
+	falloff    bool
+	low        *Arrhenius // cgs units, converted in build
+	troe       *Troe
+	eff        map[string]float64
+	duplicate  bool
+}
+
+type termDraft struct {
+	name string
+	nu   int
+}
+
+func parseReactionLine(line string) (*reactionDraft, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("reaction line needs equation and 3 rate fields: %q", line)
+	}
+	// The equation may itself contain no spaces in our format; the last
+	// three fields are A, n, E.
+	nf := len(fields)
+	a, err1 := strconv.ParseFloat(fields[nf-3], 64)
+	n, err2 := strconv.ParseFloat(fields[nf-2], 64)
+	e, err3 := strconv.ParseFloat(fields[nf-1], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("bad rate constants in %q", line)
+	}
+	eq := strings.Join(fields[:nf-3], "")
+
+	d := &reactionDraft{equation: eq, a: a, n: n, e: e, eff: map[string]float64{}}
+	var lhs, rhs string
+	switch {
+	case strings.Contains(eq, "<=>"):
+		parts := strings.SplitN(eq, "<=>", 2)
+		lhs, rhs, d.reversible = parts[0], parts[1], true
+	case strings.Contains(eq, "=>"):
+		parts := strings.SplitN(eq, "=>", 2)
+		lhs, rhs, d.reversible = parts[0], parts[1], false
+	case strings.Contains(eq, "="):
+		parts := strings.SplitN(eq, "=", 2)
+		lhs, rhs, d.reversible = parts[0], parts[1], true
+	default:
+		return nil, fmt.Errorf("no = in reaction %q", eq)
+	}
+
+	// Falloff (+M) markers.
+	if strings.Contains(lhs, "(+M)") || strings.Contains(rhs, "(+M)") {
+		if !strings.Contains(lhs, "(+M)") || !strings.Contains(rhs, "(+M)") {
+			return nil, fmt.Errorf("(+M) must appear on both sides of %q", eq)
+		}
+		d.falloff = true
+		lhs = strings.ReplaceAll(lhs, "(+M)", "")
+		rhs = strings.ReplaceAll(rhs, "(+M)", "")
+	}
+
+	var err error
+	d.reactants, err = parseSide(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("%v in %q", err, eq)
+	}
+	d.products, err = parseSide(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("%v in %q", err, eq)
+	}
+
+	// Third-body M terms.
+	d.reactants, d.thirdBody = stripM(d.reactants, d.thirdBody)
+	var mRHS bool
+	d.products, mRHS = stripM(d.products, false)
+	if d.thirdBody != mRHS {
+		return nil, fmt.Errorf("+M must appear on both sides of %q", eq)
+	}
+	return d, nil
+}
+
+func stripM(terms []termDraft, already bool) ([]termDraft, bool) {
+	out := terms[:0]
+	found := already
+	for _, t := range terms {
+		if t.name == "M" {
+			found = true
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, found
+}
+
+func parseSide(s string) ([]termDraft, error) {
+	var terms []termDraft
+	for _, tok := range strings.Split(s, "+") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return nil, fmt.Errorf("empty species term")
+		}
+		nu := 1
+		i := 0
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+		if i > 0 {
+			v, err := strconv.Atoi(tok[:i])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("bad stoichiometric coefficient in %q", tok)
+			}
+			nu = v
+		}
+		name := tok[i:]
+		if name == "" {
+			return nil, fmt.Errorf("missing species name in %q", tok)
+		}
+		// Merge repeated species (e.g. H+H).
+		merged := false
+		for k := range terms {
+			if terms[k].name == name {
+				terms[k].nu += nu
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			terms = append(terms, termDraft{name, nu})
+		}
+	}
+	return terms, nil
+}
+
+func parseAux(d *reactionDraft, line string) error {
+	upper := strings.ToUpper(strings.TrimSpace(line))
+	switch {
+	case upper == "DUP" || upper == "DUPLICATE":
+		d.duplicate = true
+		return nil
+	case strings.HasPrefix(upper, "LOW"):
+		vals, err := slashValues(line)
+		if err != nil || len(vals) != 3 {
+			return fmt.Errorf("LOW needs /A n E/: %q", line)
+		}
+		d.low = &Arrhenius{vals[0], vals[1], vals[2]}
+		return nil
+	case strings.HasPrefix(upper, "TROE"):
+		vals, err := slashValues(line)
+		if err != nil || (len(vals) != 3 && len(vals) != 4) {
+			return fmt.Errorf("TROE needs 3 or 4 values: %q", line)
+		}
+		t := &Troe{Alpha: vals[0], T3: vals[1], T1: vals[2]}
+		if len(vals) == 4 {
+			t.T2 = vals[3]
+		}
+		d.troe = t
+		return nil
+	default:
+		// Efficiency pairs: NAME/value/ NAME/value/ ...
+		for _, pair := range strings.Fields(line) {
+			pieces := strings.Split(pair, "/")
+			if len(pieces) < 2 {
+				return fmt.Errorf("bad efficiency %q", pair)
+			}
+			v, err := strconv.ParseFloat(pieces[1], 64)
+			if err != nil {
+				return fmt.Errorf("bad efficiency value %q", pair)
+			}
+			d.eff[pieces[0]] = v
+		}
+		return nil
+	}
+}
+
+func slashValues(line string) ([]float64, error) {
+	i := strings.IndexByte(line, '/')
+	j := strings.LastIndexByte(line, '/')
+	if i < 0 || j <= i {
+		return nil, fmt.Errorf("missing / delimiters")
+	}
+	var vals []float64
+	for _, f := range strings.Fields(line[i+1 : j]) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// build resolves names and converts cgs → SI.
+func (d *reactionDraft) build(set *thermo.Set) (*Reaction, error) {
+	r := &Reaction{
+		Equation:   d.equation,
+		Reversible: d.reversible,
+		ThirdBody:  d.thirdBody,
+		Duplicate:  d.duplicate,
+	}
+	order := 0
+	for _, t := range d.reactants {
+		idx := set.Index(t.name)
+		if idx < 0 {
+			return nil, fmt.Errorf("chem: reaction %q uses undeclared species %q", d.equation, t.name)
+		}
+		r.Reactants = append(r.Reactants, SpecCoef{idx, t.nu})
+		order += t.nu
+	}
+	for _, t := range d.products {
+		idx := set.Index(t.name)
+		if idx < 0 {
+			return nil, fmt.Errorf("chem: reaction %q uses undeclared species %q", d.equation, t.name)
+		}
+		r.Products = append(r.Products, SpecCoef{idx, t.nu})
+	}
+	if len(d.eff) > 0 {
+		if !d.thirdBody && !d.falloff {
+			return nil, fmt.Errorf("chem: efficiencies on non-third-body reaction %q", d.equation)
+		}
+		r.Eff = map[int]float64{}
+		for name, v := range d.eff {
+			idx := set.Index(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("chem: efficiency for undeclared species %q in %q", name, d.equation)
+			}
+			r.Eff[idx] = v
+		}
+	}
+
+	// cgs→SI conversion: A in (cm³/mol)^(order−1)/s → ×(10⁻⁶)^(order−1);
+	// a non-falloff third body raises the effective order by one.
+	fwdOrder := order
+	if d.thirdBody && !d.falloff {
+		fwdOrder++
+		r.ThirdBody = true
+	}
+	r.Fwd = Arrhenius{d.a * math6(fwdOrder-1), d.n, d.e * CalPerMol}
+	if d.falloff {
+		if d.low == nil {
+			return nil, fmt.Errorf("chem: falloff reaction %q lacks LOW data", d.equation)
+		}
+		r.Falloff = &Falloff{
+			Low:   Arrhenius{d.low.A * math6(order), d.low.N, d.low.E * CalPerMol},
+			TroeF: d.troe,
+		}
+		r.ThirdBody = false
+	}
+	return r, nil
+}
+
+// math6 returns (10⁻⁶)ⁿ.
+func math6(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 1e-6
+	}
+	return v
+}

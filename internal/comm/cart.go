@@ -1,0 +1,78 @@
+package comm
+
+import "fmt"
+
+// Cart is a three-dimensional Cartesian process topology, the decomposition
+// S3D uses: every MPI process owns an equal block of the 3-D domain and
+// communicates only with its nearest neighbours (paper §2.6).
+type Cart struct {
+	Comm     *Comm
+	Dims     [3]int
+	Periodic [3]bool
+	coords   [3]int
+}
+
+// NewCart embeds the communicator in a dims[0]×dims[1]×dims[2] grid.
+// Rank order is x-fastest: rank = i + dims0·(j + dims1·k).
+func NewCart(c *Comm, dims [3]int, periodic [3]bool) (*Cart, error) {
+	if dims[0]*dims[1]*dims[2] != c.Size() {
+		return nil, fmt.Errorf("comm: cart dims %v do not match world size %d", dims, c.Size())
+	}
+	ct := &Cart{Comm: c, Dims: dims, Periodic: periodic}
+	r := c.Rank()
+	ct.coords[0] = r % dims[0]
+	ct.coords[1] = (r / dims[0]) % dims[1]
+	ct.coords[2] = r / (dims[0] * dims[1])
+	return ct, nil
+}
+
+// Coords returns this rank's grid coordinates.
+func (ct *Cart) Coords() [3]int { return ct.coords }
+
+// RankOf returns the rank at the given coordinates, applying periodic
+// wrapping where enabled; it returns -1 for out-of-range coordinates on
+// non-periodic axes.
+func (ct *Cart) RankOf(coords [3]int) int {
+	for a := 0; a < 3; a++ {
+		if coords[a] < 0 || coords[a] >= ct.Dims[a] {
+			if !ct.Periodic[a] {
+				return -1
+			}
+			coords[a] = ((coords[a] % ct.Dims[a]) + ct.Dims[a]) % ct.Dims[a]
+		}
+	}
+	return coords[0] + ct.Dims[0]*(coords[1]+ct.Dims[1]*coords[2])
+}
+
+// Neighbor returns the rank one step along axis in direction dir (±1), or
+// -1 at a non-periodic boundary — the MPI_PROC_NULL of this runtime.
+func (ct *Cart) Neighbor(axis, dir int) int {
+	c := ct.coords
+	c[axis] += dir
+	return ct.RankOf(c)
+}
+
+// OnLowBoundary reports whether this rank touches the low domain face of
+// the axis (no neighbour in the -1 direction).
+func (ct *Cart) OnLowBoundary(axis int) bool { return ct.Neighbor(axis, -1) < 0 }
+
+// OnHighBoundary reports whether this rank touches the high domain face.
+func (ct *Cart) OnHighBoundary(axis int) bool { return ct.Neighbor(axis, +1) < 0 }
+
+// Decompose1D splits n points across parts, returning the offset and count
+// for index p. The remainder is spread over the leading parts, keeping the
+// per-rank load within one point of equal — S3D requires exactly equal
+// loads, which callers get by choosing divisible grids; uneven splits are
+// supported for the heterogeneous XT3/XT4 experiments (paper §4).
+func Decompose1D(n, parts, p int) (offset, count int) {
+	base := n / parts
+	rem := n % parts
+	count = base
+	if p < rem {
+		count++
+		offset = p * (base + 1)
+	} else {
+		offset = rem*(base+1) + (p-rem)*base
+	}
+	return offset, count
+}

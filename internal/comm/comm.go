@@ -1,0 +1,354 @@
+// Package comm is an in-process message-passing runtime with MPI semantics,
+// the substrate under the S3D domain decomposition (paper §2.6). Ranks are
+// goroutines; point-to-point messages are non-blocking sends and receives
+// matched on (source, tag) in arrival order, exactly the subset of MPI that
+// S3D uses: nearest-neighbour Isend/Irecv/Wait for ghost-zone construction,
+// plus all-to-all reductions "only for monitoring and synchronization ahead
+// of I/O".
+//
+// The runtime counts bytes and messages per rank so the performance model
+// (internal/perf) and the parallel-I/O model (internal/pario) can charge
+// communication costs without wall-clock timing noise.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// World owns the communication state for a fixed number of ranks.
+type World struct {
+	n     int
+	boxes []*mailbox
+	coll  *collective
+
+	bytesSent []atomic.Int64
+	msgsSent  []atomic.Int64
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: non-positive world size %d", n))
+	}
+	w := &World{
+		n:         n,
+		boxes:     make([]*mailbox, n),
+		coll:      newCollective(n),
+		bytesSent: make([]atomic.Int64, n),
+		msgsSent:  make([]atomic.Int64, n),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// BytesSent returns the total bytes sent by rank r so far.
+func (w *World) BytesSent(r int) int64 { return w.bytesSent[r].Load() }
+
+// MessagesSent returns the total message count sent by rank r so far.
+func (w *World) MessagesSent(r int) int64 { return w.msgsSent[r].Load() }
+
+// TotalBytes returns the bytes sent by all ranks.
+func (w *World) TotalBytes() int64 {
+	var t int64
+	for i := range w.bytesSent {
+		t += w.bytesSent[i].Load()
+	}
+	return t
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them. A panic in any rank is recovered and returned as an error naming
+// the rank (so a failed parallel test reports cleanly instead of killing
+// the process).
+func (w *World) Run(body func(c *Comm)) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for r := 0; r < w.n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, p)
+				}
+			}()
+			body(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.n }
+
+// World returns the underlying world (for accounting queries).
+func (c *Comm) World() *World { return c.world }
+
+// message is an in-flight point-to-point message.
+type message struct {
+	src, tag int
+	data     []float64
+}
+
+// mailbox holds unmatched arrived messages for one rank.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Request is a pending non-blocking operation. Wait blocks until complete.
+type Request struct {
+	done bool
+	// receive state; nil box means the request is an already-complete send.
+	box      *mailbox
+	src, tag int
+	buf      []float64
+}
+
+// Isend posts a non-blocking send of data to rank dst with a tag. The data
+// is copied at post time, so the caller may reuse its buffer immediately
+// (buffered-send semantics, matching how S3D uses MPI_Isend on ghost
+// buffers that are not touched until the matching wait anyway).
+func (c *Comm) Isend(dst, tag int, data []float64) *Request {
+	if dst < 0 || dst >= c.world.n {
+		panic(fmt.Sprintf("comm: rank %d Isend to invalid rank %d", c.rank, dst))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	box := c.world.boxes[dst]
+	box.mu.Lock()
+	box.msgs = append(box.msgs, message{src: c.rank, tag: tag, data: cp})
+	box.mu.Unlock()
+	box.cond.Broadcast()
+	c.world.bytesSent[c.rank].Add(int64(8 * len(data)))
+	c.world.msgsSent[c.rank].Add(1)
+	return &Request{done: true}
+}
+
+// Irecv posts a non-blocking receive into buf for a message from rank src
+// with the given tag. Completion happens inside Wait.
+func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
+	if src < 0 || src >= c.world.n {
+		panic(fmt.Sprintf("comm: rank %d Irecv from invalid rank %d", c.rank, src))
+	}
+	return &Request{box: c.world.boxes[c.rank], src: src, tag: tag, buf: buf}
+}
+
+// Wait blocks until the request completes. For receives it matches the
+// earliest-arrived message from (src, tag) and copies it into the posted
+// buffer; a length mismatch panics, as MPI would raise a truncation error.
+func (r *Request) Wait() {
+	if r.done {
+		return
+	}
+	box := r.box
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i := range box.msgs {
+			m := &box.msgs[i]
+			if m.src == r.src && m.tag == r.tag {
+				if len(m.data) != len(r.buf) {
+					panic(fmt.Sprintf("comm: message truncation: got %d, posted %d (src %d tag %d)",
+						len(m.data), len(r.buf), r.src, r.tag))
+				}
+				copy(r.buf, m.data)
+				box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
+				r.done = true
+				return
+			}
+		}
+		box.cond.Wait()
+	}
+}
+
+// WaitAll completes every request.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// RecvAny blocks until a message with any of the given tags arrives from
+// any rank, returning its source, tag and payload. It serves the
+// server-thread pattern of the MPI-I/O caching layer (an I/O thread
+// handling "both local and remote requests", paper §5.1) — the analogue of
+// MPI_ANY_SOURCE receives.
+func (c *Comm) RecvAny(tags []int) (src, tag int, data []float64) {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i := range box.msgs {
+			m := &box.msgs[i]
+			for _, t := range tags {
+				if m.tag == t {
+					src, tag, data = m.src, m.tag, m.data
+					box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
+					return src, tag, data
+				}
+			}
+		}
+		box.cond.Wait()
+	}
+}
+
+// Send is a blocking send (completes immediately under buffered semantics).
+func (c *Comm) Send(dst, tag int, data []float64) { c.Isend(dst, tag, data).Wait() }
+
+// Recv is a blocking receive.
+func (c *Comm) Recv(src, tag int, buf []float64) { c.Irecv(src, tag, buf).Wait() }
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators supported by Allreduce.
+const (
+	Sum Op = iota
+	Min
+	Max
+)
+
+func (o Op) combine(dst, src []float64) {
+	switch o {
+	case Sum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case Min:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case Max:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+// collective implements reusable barrier-style collectives with an
+// entry/exit two-phase protocol so back-to-back collectives cannot race.
+type collective struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	entered int
+	exited  int
+	phase   int // 0: gathering, 1: draining
+	acc     []float64
+	slots   [][]float64
+}
+
+func newCollective(n int) *collective {
+	c := &collective{n: n, slots: make([][]float64, n)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Allreduce combines vals across all ranks with op; on return vals holds
+// the reduced result on every rank. All ranks must call with equal lengths.
+func (c *Comm) Allreduce(op Op, vals []float64) {
+	col := c.world.coll
+	col.mu.Lock()
+	for col.phase == 1 { // previous collective still draining
+		col.cond.Wait()
+	}
+	if col.entered == 0 {
+		col.acc = append(col.acc[:0], vals...)
+	} else {
+		if len(col.acc) != len(vals) {
+			col.mu.Unlock()
+			panic("comm: Allreduce length mismatch across ranks")
+		}
+		op.combine(col.acc, vals)
+	}
+	col.entered++
+	if col.entered == col.n {
+		col.phase = 1
+		col.cond.Broadcast()
+	} else {
+		for col.phase == 0 {
+			col.cond.Wait()
+		}
+	}
+	copy(vals, col.acc)
+	col.exited++
+	if col.exited == col.n {
+		col.entered, col.exited, col.phase = 0, 0, 0
+		col.cond.Broadcast()
+	}
+	col.mu.Unlock()
+	// Account the communication: a tree allreduce moves O(2·len) per rank.
+	c.world.bytesSent[c.rank].Add(int64(16 * len(vals)))
+}
+
+// Barrier blocks until all ranks arrive.
+func (c *Comm) Barrier() {
+	v := []float64{0}
+	c.Allreduce(Sum, v)
+}
+
+// Allgather collects each rank's slice; the result indexed by rank is
+// returned on every rank. All ranks must call with non-nil slices.
+func (c *Comm) Allgather(vals []float64) [][]float64 {
+	col := c.world.coll
+	col.mu.Lock()
+	for col.phase == 1 {
+		col.cond.Wait()
+	}
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	col.slots[c.rank] = cp
+	col.entered++
+	if col.entered == col.n {
+		col.phase = 1
+		col.cond.Broadcast()
+	} else {
+		for col.phase == 0 {
+			col.cond.Wait()
+		}
+	}
+	out := make([][]float64, col.n)
+	copy(out, col.slots)
+	col.exited++
+	if col.exited == col.n {
+		col.entered, col.exited, col.phase = 0, 0, 0
+		col.cond.Broadcast()
+	}
+	col.mu.Unlock()
+	c.world.bytesSent[c.rank].Add(int64(8 * len(vals)))
+	return out
+}

@@ -1,0 +1,71 @@
+package comm
+
+import "testing"
+
+func TestRecvAnyMatchesTagSet(t *testing.T) {
+	w2 := NewWorld(3)
+	err := w2.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			got := map[int]int{}
+			for i := 0; i < 2; i++ {
+				src, tag, data := c.RecvAny([]int{10, 20})
+				got[tag] = src
+				if len(data) != 1 {
+					panic("bad payload")
+				}
+			}
+			if got[10] != 1 || got[20] != 2 {
+				panic("wrong src/tag matching")
+			}
+			// The decoy (tag 30) is still in the mailbox.
+			buf := make([]float64, 1)
+			c.Recv(1, 30, buf)
+			if buf[0] != 7 {
+				panic("decoy lost")
+			}
+		case 1:
+			c.Send(0, 30, []float64{7}) // decoy first
+			c.Send(0, 10, []float64{1})
+		case 2:
+			c.Send(0, 20, []float64{2})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnyConcurrentWithRecv(t *testing.T) {
+	// A server goroutine draining RecvAny must coexist with the main
+	// goroutine's tagged Recv on the same rank (the cache-layer pattern).
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 3; i++ {
+					_, tag, _ := c.RecvAny([]int{5})
+					if tag != 5 {
+						panic("server got wrong tag")
+					}
+				}
+			}()
+			buf := make([]float64, 1)
+			c.Recv(1, 6, buf) // client-path receive
+			if buf[0] != 42 {
+				panic("client recv corrupted")
+			}
+			<-done
+		} else {
+			c.Send(0, 5, []float64{1})
+			c.Send(0, 6, []float64{42})
+			c.Send(0, 5, []float64{2})
+			c.Send(0, 5, []float64{3})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

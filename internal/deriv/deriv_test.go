@@ -1,0 +1,266 @@
+package deriv
+
+import (
+	"math"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/grid"
+)
+
+// sineField fills a field with sin(2πx/L)·cos(2πy/L)·sin(4πz/L) on a
+// periodic box including ghosts by periodic extension.
+func sineField(g *grid.Grid) *grid.Field3 {
+	f := grid.NewField3(g)
+	f.Map(func(i, j, k int, _ float64) float64 {
+		x := g.Xc[i]
+		y := g.Yc[j]
+		z := g.Zc[k]
+		return math.Sin(2*math.Pi*x/g.Lx) * math.Cos(2*math.Pi*y/g.Ly) * math.Sin(4*math.Pi*z/g.Lz)
+	})
+	return f
+}
+
+// analyticGhosts fills a field, ghosts included, from an analytic profile in
+// the x index so convergence tests control boundary data exactly.
+func analyticGhosts(g *grid.Grid, f *grid.Field3, fn func(x float64) float64, h float64) {
+	for k := -f.G; k < f.Nz+f.G; k++ {
+		for j := -f.G; j < f.Ny+f.G; j++ {
+			for i := -f.G; i < f.Nx+f.G; i++ {
+				f.Set(i, j, k, fn(float64(i)*h))
+			}
+		}
+	}
+}
+
+// maxErrX returns the max-norm error of the x-derivative of fn against dfn.
+func maxErrX(n int, fn, dfn func(float64) float64, lo, hi BC) float64 {
+	h := 1.0 / float64(n-1)
+	g := grid.New(grid.Spec{Nx: n, Ny: 3, Nz: 3, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	analyticGhosts(g, f, fn, h)
+	d := grid.NewField3(g)
+	Diff(d, f, grid.X, g.MetX, lo, hi)
+	var max float64
+	for i := 0; i < n; i++ {
+		err := math.Abs(d.At(i, 1, 1) - dfn(float64(i)*h))
+		if err > max {
+			max = err
+		}
+	}
+	return max
+}
+
+func TestDiffExactOnPolynomials(t *testing.T) {
+	// The centred 8th-order stencil differentiates degree-8 polynomials
+	// exactly (up to roundoff).
+	fn := func(x float64) float64 {
+		return 1 + x + x*x - 3*math.Pow(x, 5) + 0.5*math.Pow(x, 8)
+	}
+	dfn := func(x float64) float64 {
+		return 1 + 2*x - 15*math.Pow(x, 4) + 4*math.Pow(x, 7)
+	}
+	if err := maxErrX(21, fn, dfn, UseGhosts, UseGhosts); err > 1e-9 {
+		t.Fatalf("interior stencil not exact on degree-8 polynomial: err=%g", err)
+	}
+}
+
+func TestDiffEighthOrderConvergence(t *testing.T) {
+	fn := func(x float64) float64 { return math.Sin(4 * math.Pi * x) }
+	dfn := func(x float64) float64 { return 4 * math.Pi * math.Cos(4*math.Pi*x) }
+	e1 := maxErrX(33, fn, dfn, UseGhosts, UseGhosts)
+	e2 := maxErrX(65, fn, dfn, UseGhosts, UseGhosts)
+	rate := math.Log2(e1 / e2)
+	if rate < 7.5 {
+		t.Fatalf("interior convergence rate = %.2f, want ≈ 8", rate)
+	}
+}
+
+func TestDiffOneSidedConvergence(t *testing.T) {
+	fn := func(x float64) float64 { return math.Sin(3 * x) }
+	dfn := func(x float64) float64 { return 3 * math.Cos(3*x) }
+	e1 := maxErrX(33, fn, dfn, OneSided, OneSided)
+	e2 := maxErrX(65, fn, dfn, OneSided, OneSided)
+	rate := math.Log2(e1 / e2)
+	// Boundary closures are 4th order; the global max-norm rate must be ≥ 4.
+	if rate < 3.7 {
+		t.Fatalf("one-sided convergence rate = %.2f, want ≥ 4", rate)
+	}
+}
+
+func TestDiffOneSidedExactOnCubics(t *testing.T) {
+	fn := func(x float64) float64 { return 1 - 2*x + 3*x*x - 4*x*x*x }
+	dfn := func(x float64) float64 { return -2 + 6*x - 12*x*x }
+	if err := maxErrX(17, fn, dfn, OneSided, OneSided); err > 1e-10 {
+		t.Fatalf("one-sided closure not exact on cubic: err=%g", err)
+	}
+}
+
+func TestDiffYAndZAxes(t *testing.T) {
+	n := 33
+	g := grid.New(grid.Spec{Nx: 3, Ny: n, Nz: n, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	hy := 1.0 / float64(n-1)
+	for k := -f.G; k < f.Nz+f.G; k++ {
+		for j := -f.G; j < f.Ny+f.G; j++ {
+			for i := -f.G; i < f.Nx+f.G; i++ {
+				f.Set(i, j, k, math.Sin(2*float64(j)*hy)+math.Cos(3*float64(k)*hy))
+			}
+		}
+	}
+	dy := grid.NewField3(g)
+	dz := grid.NewField3(g)
+	Diff(dy, f, grid.Y, g.MetY, UseGhosts, UseGhosts)
+	Diff(dz, f, grid.Z, g.MetZ, UseGhosts, UseGhosts)
+	for idx := 5; idx < n-5; idx++ {
+		wantY := 2 * math.Cos(2*float64(idx)*hy)
+		if err := math.Abs(dy.At(1, idx, 1) - wantY); err > 1e-6 {
+			t.Fatalf("y-derivative error %g at %d", err, idx)
+		}
+		wantZ := -3 * math.Sin(3*float64(idx)*hy)
+		if err := math.Abs(dz.At(1, 1, idx) - wantZ); err > 1e-6 {
+			t.Fatalf("z-derivative error %g at %d", err, idx)
+		}
+	}
+}
+
+func TestDiffDegenerateAxisIsZero(t *testing.T) {
+	g := grid.New(grid.Spec{Nx: 8, Ny: 8, Nz: 1, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	f.Fill(3.7)
+	d := grid.NewField3(g)
+	d.Fill(42)
+	Diff(d, f, grid.Z, g.MetZ, UseGhosts, UseGhosts)
+	d.Each(func(i, j, k int, v float64) {
+		if v != 0 {
+			t.Fatalf("derivative along degenerate axis = %g, want 0", v)
+		}
+	})
+}
+
+func TestStretchedMetricDerivative(t *testing.T) {
+	// d/dy of sin(y) on a stretched line through the metric formulation.
+	n := 81
+	g := grid.New(grid.Spec{Nx: 3, Ny: n, Nz: 3, Lx: 1, Ly: 2, Lz: 1, StretchY: true, Beta: 1.8})
+	f := grid.NewField3(g)
+	f.Map(func(i, j, k int, _ float64) float64 { return math.Sin(g.Yc[j]) })
+	d := grid.NewField3(g)
+	Diff(d, f, grid.Y, g.MetY, OneSided, OneSided)
+	for j := 4; j < n-4; j++ {
+		want := math.Cos(g.Yc[j])
+		if err := math.Abs(d.At(1, j, 1) - want); err > 5e-5 {
+			t.Fatalf("stretched derivative error %g at j=%d", err, j)
+		}
+	}
+}
+
+func TestFilterRemovesNyquistExactly(t *testing.T) {
+	n := 32
+	g := grid.New(grid.Spec{Nx: n, Ny: 3, Nz: 3, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	for k := -f.G; k < f.Nz+f.G; k++ {
+		for j := -f.G; j < f.Ny+f.G; j++ {
+			for i := -f.G; i < f.Nx+f.G; i++ {
+				v := 1.0
+				if ((i%2)+2)%2 == 1 {
+					v = -1.0
+				}
+				f.Set(i, j, k, v)
+			}
+		}
+	}
+	out := grid.NewField3(g)
+	Filter(out, f, grid.X, 1.0, UseGhosts, UseGhosts)
+	for i := 0; i < n; i++ {
+		if v := out.At(i, 1, 1); math.Abs(v) > 1e-12 {
+			t.Fatalf("Nyquist survives filter at %d: %g", i, v)
+		}
+	}
+}
+
+func TestFilterPreservesConstants(t *testing.T) {
+	g := grid.New(grid.Spec{Nx: 16, Ny: 16, Nz: 3, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	f.Fill(2.5)
+	out := grid.NewField3(g)
+	Filter(out, f, grid.X, 1.0, OneSided, OneSided)
+	out2 := grid.NewField3(g)
+	Filter(out2, out, grid.Y, 1.0, OneSided, OneSided)
+	out2.Each(func(i, j, k int, v float64) {
+		if math.Abs(v-2.5) > 1e-12 {
+			t.Fatalf("filter distorts constant: %g at (%d,%d,%d)", v, i, j, k)
+		}
+	})
+}
+
+func TestFilterTenthOrderOnSmooth(t *testing.T) {
+	errAt := func(n int) float64 {
+		h := 1.0 / float64(n-1)
+		g := grid.New(grid.Spec{Nx: n, Ny: 3, Nz: 3, Lx: 1, Ly: 1, Lz: 1})
+		f := grid.NewField3(g)
+		analyticGhosts(g, f, func(x float64) float64 { return math.Sin(2 * math.Pi * x) }, h)
+		out := grid.NewField3(g)
+		Filter(out, f, grid.X, 1.0, UseGhosts, UseGhosts)
+		var max float64
+		for i := 0; i < n; i++ {
+			if e := math.Abs(out.At(i, 1, 1) - f.At(i, 1, 1)); e > max {
+				max = e
+			}
+		}
+		return max
+	}
+	e1 := errAt(17)
+	e2 := errAt(33)
+	rate := math.Log2(e1 / e2)
+	if rate < 9.0 {
+		t.Fatalf("filter convergence rate = %.2f, want ≈ 10", rate)
+	}
+}
+
+func TestFilterBoundaryClosureDamps(t *testing.T) {
+	// With OneSided closures the boundary point is untouched and near-boundary
+	// points are filtered at reduced order; a noisy signal must lose energy.
+	n := 24
+	g := grid.New(grid.Spec{Nx: n, Ny: 3, Nz: 3, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	f.Map(func(i, j, k int, _ float64) float64 {
+		if ((i%2)+2)%2 == 1 {
+			return -1
+		}
+		return 1
+	})
+	out := grid.NewField3(g)
+	Filter(out, f, grid.X, 1.0, OneSided, OneSided)
+	if got := out.At(0, 1, 1); got != 1 {
+		t.Fatalf("boundary point modified by filter: %g", got)
+	}
+	var before, after float64
+	for i := 1; i < n-1; i++ {
+		before += f.At(i, 1, 1) * f.At(i, 1, 1)
+		after += out.At(i, 1, 1) * out.At(i, 1, 1)
+	}
+	if after >= 0.05*before {
+		t.Fatalf("filter with closures insufficiently dissipative: %g -> %g", before, after)
+	}
+}
+
+func BenchmarkDiffX50Cubed(b *testing.B) {
+	g := grid.New(grid.Spec{Nx: 50, Ny: 50, Nz: 50, Lx: 1, Ly: 1, Lz: 1})
+	f := sineField(g)
+	d := grid.NewField3(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		Diff(d, f, grid.X, g.MetX, UseGhosts, UseGhosts)
+	}
+}
+
+func BenchmarkFilterX50Cubed(b *testing.B) {
+	g := grid.New(grid.Spec{Nx: 50, Ny: 50, Nz: 50, Lx: 1, Ly: 1, Lz: 1})
+	f := sineField(g)
+	d := grid.NewField3(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		Filter(d, f, grid.X, 1.0, UseGhosts, UseGhosts)
+	}
+}

@@ -1,0 +1,192 @@
+package pario
+
+// FS is an analytic parallel-file-system model. It captures the properties
+// §5 turns on: stripe-granular lock atomicity (concurrent writes that touch
+// the same stripe serialise and pay lock-conflict overhead, even when they
+// do not overlap in bytes — false sharing), per-request software overhead,
+// per-server bandwidth with a per-shared-file stripe count, and a file-open
+// cost model (GPFS's open cost grows much faster with file and process
+// counts than Lustre's, the effect visible in figure 9's right panel).
+type FS struct {
+	Name string
+
+	StripeBytes int64   // stripe size == lock granularity (512 kB in §5.3)
+	StripeCount int     // servers serving one shared file
+	NumServers  int     // total I/O servers (per-process files spread over all)
+	ServerBW    float64 // bytes/s per server
+
+	ReqOverhead  float64 // software cost per individual write request (s)
+	LockConflict float64 // cost per additional process contending a stripe (s)
+
+	// WaveWeight scales the extent-lock wave serialisation: when k
+	// processes contend the same stripe lock their writes "must be carried
+	// out in sequence" (§5), stretching the whole operation by a factor
+	// 1 + WaveWeight·(k−1). Lustre's server extent locks serialise fully
+	// (weight 1); GPFS's byte-range tokens degrade more gently.
+	WaveWeight float64
+
+	// IndepReqCost is the extra software cost per request issued through
+	// *independent* (non-collective) I/O calls, which on GPFS trigger
+	// per-call token negotiation that coordinated collective flushes avoid.
+	IndepReqCost float64
+
+	// Open cost model: OpenBase + OpenPerFile·files + OpenPerProcFile·files·procs.
+	OpenBase        float64
+	OpenPerFile     float64
+	OpenPerProcFile float64
+}
+
+// Lustre models the Tungsten Lustre 1.4 configuration of §5.3: 16-way
+// striping at 512 kB, efficient opens even for many files, but expensive
+// lock conflicts on shared files.
+func Lustre() *FS {
+	return &FS{
+		Name:            "lustre",
+		StripeBytes:     512 << 10,
+		StripeCount:     16,
+		NumServers:      32,
+		ServerBW:        25e6,
+		ReqOverhead:     60e-6,
+		LockConflict:    4e-3,
+		WaveWeight:      1.0,
+		IndepReqCost:    1e-4,
+		OpenBase:        5e-3,
+		OpenPerFile:     1.2e-3,
+		OpenPerProcFile: 2e-6,
+	}
+}
+
+// GPFS models the Mercury GPFS 3.1 configuration: 54 NSD servers at 512 kB
+// blocks, cheaper byte-range token conflicts, but file opens that grow
+// steeply with the number of files and processes ("file open costs increase
+// more dramatically on GPFS than Lustre", §5.3).
+func GPFS() *FS {
+	return &FS{
+		Name:            "gpfs",
+		StripeBytes:     512 << 10,
+		StripeCount:     54,
+		NumServers:      54,
+		ServerBW:        11e6,
+		ReqOverhead:     90e-6,
+		LockConflict:    1.2e-3,
+		WaveWeight:      0.3,
+		IndepReqCost:    40e-3,
+		OpenBase:        10e-3,
+		OpenPerFile:     18e-3,
+		OpenPerProcFile: 2.4e-4,
+	}
+}
+
+// OpenTime returns the cost of opening nFiles files from nProcs processes
+// (per checkpoint).
+func (fs *FS) OpenTime(nFiles, nProcs int) float64 {
+	return fs.OpenBase + fs.OpenPerFile*float64(nFiles) +
+		fs.OpenPerProcFile*float64(nFiles)*float64(nProcs)
+}
+
+// stripeStat accumulates per-stripe activity.
+type stripeStat struct {
+	bytes    int64
+	reqs     int
+	procs    int // distinct writing processes
+	lastProc int
+}
+
+// SharedWriteTime returns the time to complete one checkpoint's writes to a
+// single shared file given each process's request runs. Stripes are
+// assigned round-robin to the file's StripeCount servers; each stripe's
+// work (transfer + request overhead + lock-conflict serialisation) is
+// serial, servers run in parallel, and the checkpoint completes when the
+// slowest server drains.
+func (fs *FS) SharedWriteTime(perProc [][]Run, fileBytes int64) float64 {
+	nStripes := int((fileBytes + fs.StripeBytes - 1) / fs.StripeBytes)
+	if nStripes == 0 {
+		return 0
+	}
+	stats := make([]stripeStat, nStripes)
+	for i := range stats {
+		stats[i].lastProc = -1
+	}
+	for p, runs := range perProc {
+		for _, r := range runs {
+			for c := 0; c < r.Count; c++ {
+				off := r.Offset + int64(c)*r.Stride
+				end := off + r.Bytes
+				s0 := off / fs.StripeBytes
+				s1 := (end - 1) / fs.StripeBytes
+				for s := s0; s <= s1; s++ {
+					st := &stats[s]
+					lo := max64(off, s*fs.StripeBytes)
+					hi := min64(end, (s+1)*fs.StripeBytes)
+					st.bytes += hi - lo
+					st.reqs++
+					if st.lastProc != p {
+						st.procs++
+						st.lastProc = p
+					}
+				}
+			}
+		}
+	}
+	servers := make([]float64, fs.StripeCount)
+	maxWave := 1
+	for s := range stats {
+		st := &stats[s]
+		if st.reqs == 0 {
+			continue
+		}
+		t := float64(st.bytes)/fs.ServerBW + float64(st.reqs)*fs.ReqOverhead
+		if st.procs > 1 {
+			t += float64(st.procs-1) * fs.LockConflict
+			if st.procs > maxWave {
+				maxWave = st.procs
+			}
+		}
+		servers[s%fs.StripeCount] += t
+	}
+	var worst float64
+	for _, t := range servers {
+		if t > worst {
+			worst = t
+		}
+	}
+	// Extent-lock wave serialisation: contended stripe locks force the
+	// conflicting clients to take turns.
+	return worst * (1 + fs.WaveWeight*float64(maxWave-1))
+}
+
+// PerProcessWriteTime returns the time for every process to write its own
+// file contiguously (the Fortran I/O path): no sharing, one large request
+// per array per process, files spread over all servers.
+func (fs *FS) PerProcessWriteTime(nProcs int, bytesPerProc int64, reqsPerProc int) float64 {
+	total := float64(bytesPerProc) * float64(nProcs)
+	agg := fs.ServerBW * float64(min(fs.NumServers, nProcs*fs.StripeCount))
+	transfer := total / agg
+	// Each process's requests are serial for that process; processes overlap.
+	perProc := float64(reqsPerProc)*fs.ReqOverhead + float64(bytesPerProc)/(fs.ServerBW*float64(min(fs.StripeCount, fs.NumServers)))
+	if perProc > transfer {
+		transfer = perProc
+	}
+	return transfer
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

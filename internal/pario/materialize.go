@@ -1,0 +1,221 @@
+package pario
+
+import "fmt"
+
+// The materialisation path runs real bytes through each write method's
+// staging logic and produces the shared-file image, verifying the global
+// canonical-order invariant of figure 8: whatever the transport (two-phase
+// exchange, cache pages, write-behind buffers), the resulting file must be
+// byte-identical to writing every request directly at its canonical offset.
+
+// eachRequest invokes fn for every contiguous request of rank p with the
+// request's canonical file offset and payload.
+func (k Kernel) eachRequest(p int, fn func(off int64, data []byte)) {
+	seq := uint32(0)
+	for _, r := range k.Runs(p) {
+		buf := make([]byte, r.Bytes)
+		for c := 0; c < r.Count; c++ {
+			for b := int64(0); b < r.Bytes; b += wordBytes {
+				v := patternWord(p, seq)
+				for i := 0; i < wordBytes; i++ {
+					buf[b+int64(i)] = byte(v >> (8 * uint(i)))
+				}
+				seq++
+			}
+			fn(r.Offset+int64(c)*r.Stride, buf)
+			// fn may retain nothing; reuse buf for the next request.
+		}
+	}
+}
+
+// MaterializeDirect writes every rank's requests straight into the image.
+func (k Kernel) MaterializeDirect() []byte {
+	img := make([]byte, k.FileBytes())
+	for p := 0; p < k.NumProcs(); p++ {
+		k.eachRequest(p, func(off int64, data []byte) {
+			copy(img[off:], data)
+		})
+	}
+	return img
+}
+
+// MaterializeCollective routes the data through two-phase aggregation:
+// aggregator a owns the contiguous file range [a·chunk, (a+1)·chunk);
+// every rank ships the intersecting pieces, then aggregators write their
+// ranges contiguously.
+func (k Kernel) MaterializeCollective() []byte {
+	np := k.NumProcs()
+	fileBytes := k.FileBytes()
+	chunk := fileBytes / int64(np)
+	// Aggregator buffers (the last takes the remainder).
+	bufs := make([][]byte, np)
+	starts := make([]int64, np)
+	for a := 0; a < np; a++ {
+		starts[a] = int64(a) * chunk
+		end := starts[a] + chunk
+		if a == np-1 {
+			end = fileBytes
+		}
+		bufs[a] = make([]byte, end-starts[a])
+	}
+	for p := 0; p < np; p++ {
+		k.eachRequest(p, func(off int64, data []byte) {
+			// Split the request across aggregator domains.
+			pos := int64(0)
+			for pos < int64(len(data)) {
+				a := int((off + pos) / chunk)
+				if a >= np {
+					a = np - 1
+				}
+				domEnd := starts[a] + int64(len(bufs[a]))
+				n := min64(int64(len(data))-pos, domEnd-(off+pos))
+				copy(bufs[a][off+pos-starts[a]:], data[pos:pos+n])
+				pos += n
+			}
+		})
+	}
+	img := make([]byte, fileBytes)
+	for a := 0; a < np; a++ {
+		copy(img[starts[a]:], bufs[a])
+	}
+	return img
+}
+
+// MaterializeCaching routes the data through the §5.1 cache-page layer:
+// aligned pages owned by their first toucher, remote touches shipped to the
+// owner, dirty pages flushed with a high-water mark.
+func (k Kernel) MaterializeCaching(pageBytes int64) []byte {
+	fileBytes := k.FileBytes()
+	nPages := (fileBytes + pageBytes - 1) / pageBytes
+	type page struct {
+		data  []byte
+		dirty int64 // high-water mark of dirty bytes (§5.1)
+		used  bool
+	}
+	pages := make([]page, nPages)
+	for p := 0; p < k.NumProcs(); p++ {
+		k.eachRequest(p, func(off int64, data []byte) {
+			pos := int64(0)
+			for pos < int64(len(data)) {
+				pg := (off + pos) / pageBytes
+				pp := &pages[pg]
+				if !pp.used {
+					pp.used = true
+					pp.data = make([]byte, min64(pageBytes, fileBytes-pg*pageBytes))
+				}
+				inPage := off + pos - pg*pageBytes
+				n := min64(int64(len(data))-pos, int64(len(pp.data))-inPage)
+				copy(pp.data[inPage:], data[pos:pos+n])
+				if hw := inPage + n; hw > pp.dirty {
+					pp.dirty = hw
+				}
+				pos += n
+			}
+		})
+	}
+	img := make([]byte, fileBytes)
+	for i := range pages {
+		if pages[i].used {
+			copy(img[int64(i)*pageBytes:], pages[i].data[:pages[i].dirty])
+		}
+	}
+	return img
+}
+
+// whRecord is a first-stage write-behind record: file offset + payload,
+// exactly what §5.2 accumulates "along with the requesting file offset and
+// length".
+type whRecord struct {
+	off  int64
+	data []byte
+}
+
+// MaterializeWriteBehind routes the data through the §5.2 two-stage scheme:
+// first-stage per-destination sub-buffers of the given size, flushed to the
+// round-robin page owners, who apply the offset-length records to their
+// second-stage pages and finally write them.
+func (k Kernel) MaterializeWriteBehind(pageBytes, subBufBytes int64) []byte {
+	np := k.NumProcs()
+	fileBytes := k.FileBytes()
+	nPages := (fileBytes + pageBytes - 1) / pageBytes
+	pages := make([][]byte, nPages)
+
+	apply := func(rec whRecord) {
+		pos := int64(0)
+		for pos < int64(len(rec.data)) {
+			pg := (rec.off + pos) / pageBytes
+			if pages[pg] == nil {
+				pages[pg] = make([]byte, min64(pageBytes, fileBytes-pg*pageBytes))
+			}
+			inPage := rec.off + pos - pg*pageBytes
+			n := min64(int64(len(rec.data))-pos, int64(len(pages[pg]))-inPage)
+			copy(pages[pg][inPage:], rec.data[pos:pos+n])
+			pos += n
+		}
+	}
+
+	for p := 0; p < np; p++ {
+		// One sub-buffer per destination; flush when the accumulated payload
+		// exceeds the sub-buffer size.
+		pending := make([][]whRecord, np)
+		pendingBytes := make([]int64, np)
+		flush := func(d int) {
+			for _, rec := range pending[d] {
+				apply(rec)
+			}
+			pending[d] = pending[d][:0]
+			pendingBytes[d] = 0
+		}
+		k.eachRequest(p, func(off int64, data []byte) {
+			pos := int64(0)
+			for pos < int64(len(data)) {
+				pg := (off + pos) / pageBytes
+				d := int(pg) % np
+				n := min64(int64(len(data))-pos, (pg+1)*pageBytes-(off+pos))
+				cp := make([]byte, n)
+				copy(cp, data[pos:pos+n])
+				pending[d] = append(pending[d], whRecord{off + pos, cp})
+				pendingBytes[d] += n
+				if pendingBytes[d] >= subBufBytes {
+					flush(d)
+				}
+				pos += n
+			}
+		})
+		for d := 0; d < np; d++ {
+			flush(d) // file close flushes all dirty buffers
+		}
+	}
+	img := make([]byte, fileBytes)
+	for i, pg := range pages {
+		if pg != nil {
+			copy(img[int64(i)*pageBytes:], pg)
+		}
+	}
+	return img
+}
+
+// VerifyImages compares the staged images of every shared-file method
+// against the direct canonical image, returning an error naming the first
+// divergent method and offset.
+func (k Kernel) VerifyImages(pageBytes, subBufBytes int64) error {
+	ref := k.MaterializeDirect()
+	check := func(name string, img []byte) error {
+		if len(img) != len(ref) {
+			return fmt.Errorf("pario: %s image size %d, want %d", name, len(img), len(ref))
+		}
+		for i := range img {
+			if img[i] != ref[i] {
+				return fmt.Errorf("pario: %s image diverges at offset %d", name, i)
+			}
+		}
+		return nil
+	}
+	if err := check("collective", k.MaterializeCollective()); err != nil {
+		return err
+	}
+	if err := check("caching", k.MaterializeCaching(pageBytes)); err != nil {
+		return err
+	}
+	return check("writebehind", k.MaterializeWriteBehind(pageBytes, subBufBytes))
+}

@@ -1,0 +1,236 @@
+// Package sdf is a minimal self-describing data format standing in for the
+// netCDF files of the S3D workflow (paper §9): named multi-dimensional
+// float64 variables with string attributes in a single binary container.
+// The workflow's "netcdf analysis files" pipeline morphs, plots and
+// archives these.
+package sdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// magic identifies an SDF stream; the version byte follows.
+var magic = [4]byte{'S', '3', 'D', 'F'}
+
+const version = 1
+
+// Variable is one named array with its dimensions.
+type Variable struct {
+	Name string
+	Dims []int
+	Data []float64
+}
+
+// Size returns the expected element count of the dims.
+func (v *Variable) Size() int {
+	n := 1
+	for _, d := range v.Dims {
+		n *= d
+	}
+	return n
+}
+
+// File is an in-memory SDF dataset.
+type File struct {
+	Attrs map[string]string
+	Vars  []Variable
+}
+
+// New creates an empty dataset.
+func New() *File { return &File{Attrs: map[string]string{}} }
+
+// AddVar appends a variable after validating its shape.
+func (f *File) AddVar(name string, dims []int, data []float64) error {
+	v := Variable{Name: name, Dims: append([]int(nil), dims...), Data: data}
+	if v.Size() != len(data) {
+		return fmt.Errorf("sdf: variable %q dims %v need %d values, got %d",
+			name, dims, v.Size(), len(data))
+	}
+	f.Vars = append(f.Vars, v)
+	return nil
+}
+
+// Var returns the named variable or nil.
+func (f *File) Var(name string) *Variable {
+	for i := range f.Vars {
+		if f.Vars[i].Name == name {
+			return &f.Vars[i]
+		}
+	}
+	return nil
+}
+
+// Encode writes the dataset.
+func (f *File) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeStr := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeU32(uint32(len(f.Attrs))); err != nil {
+		return err
+	}
+	// Deterministic attribute order.
+	keys := make([]string, 0, len(f.Attrs))
+	for k := range f.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := writeStr(k); err != nil {
+			return err
+		}
+		if err := writeStr(f.Attrs[k]); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(len(f.Vars))); err != nil {
+		return err
+	}
+	for i := range f.Vars {
+		v := &f.Vars[i]
+		if err := writeStr(v.Name); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(v.Dims))); err != nil {
+			return err
+		}
+		for _, d := range v.Dims {
+			if err := writeU32(uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, v.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a dataset.
+func Decode(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("sdf: bad magic %q", m)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("sdf: unsupported version %d", ver)
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("sdf: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	f := New()
+	nAttrs, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nAttrs; i++ {
+		k, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		f.Attrs[k] = v
+	}
+	nVars, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nVars; i++ {
+		name, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		nd, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if nd > 8 {
+			return nil, fmt.Errorf("sdf: variable %q has %d dims", name, nd)
+		}
+		dims := make([]int, nd)
+		size := 1
+		for d := range dims {
+			v, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			dims[d] = int(v)
+			size *= int(v)
+		}
+		if size > 1<<28 {
+			return nil, fmt.Errorf("sdf: variable %q implausibly large (%d)", name, size)
+		}
+		data := make([]float64, size)
+		if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+			return nil, err
+		}
+		f.Vars = append(f.Vars, Variable{Name: name, Dims: dims, Data: data})
+	}
+	return f, nil
+}
+
+// WriteFile encodes to a path.
+func (f *File) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Encode(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile decodes from a path.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return Decode(in)
+}

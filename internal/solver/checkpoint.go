@@ -1,0 +1,126 @@
+package solver
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/s3dgo/s3d/internal/sdf"
+)
+
+// Checkpointing: S3D "restart files contain the bulk of the analysis data"
+// (paper §9) — the full conserved state, sufficient to continue the run
+// bit-exactly. Each rank writes its own block (the N-files layout the
+// workflow later morphs); a serial run writes one file.
+
+// checkpointVarNames maps conserved indices to stable variable names.
+func (b *Block) checkpointVarNames() []string {
+	names := []string{"rho", "rhou", "rhov", "rhow", "rhoE"}
+	for n := 0; n < b.ns-1; n++ {
+		names = append(names, "rhoY_"+b.mech.Set.Species[n].Name)
+	}
+	return names
+}
+
+// SaveCheckpoint writes the block's conserved state and time bookkeeping.
+func (b *Block) SaveCheckpoint(w io.Writer) error {
+	f := sdf.New()
+	f.Attrs["step"] = strconv.Itoa(b.Step)
+	f.Attrs["time"] = strconv.FormatFloat(b.Time, 'x', -1, 64) // hex: exact
+	f.Attrs["nx"] = strconv.Itoa(b.G.Nx)
+	f.Attrs["ny"] = strconv.Itoa(b.G.Ny)
+	f.Attrs["nz"] = strconv.Itoa(b.G.Nz)
+	f.Attrs["mechanism"] = b.mech.Name
+	i0, j0, k0 := b.GlobalOffset()
+	f.Attrs["offset"] = fmt.Sprintf("%d %d %d", i0, j0, k0)
+
+	names := b.checkpointVarNames()
+	for v := 0; v < b.nvar; v++ {
+		data := make([]float64, 0, b.G.Nx*b.G.Ny*b.G.Nz)
+		q := b.Q[v]
+		for k := 0; k < b.G.Nz; k++ {
+			for j := 0; j < b.G.Ny; j++ {
+				row := q.Idx(0, j, k)
+				data = append(data, q.Data[row:row+b.G.Nx]...)
+			}
+		}
+		if err := f.AddVar(names[v], []int{b.G.Nx, b.G.Ny, b.G.Nz}, data); err != nil {
+			return err
+		}
+	}
+	// The temperature field seeds the Newton inversion on restart, keeping
+	// the restarted trajectory bit-identical.
+	tdata := make([]float64, 0, b.G.Nx*b.G.Ny*b.G.Nz)
+	for k := 0; k < b.G.Nz; k++ {
+		for j := 0; j < b.G.Ny; j++ {
+			row := b.T.Idx(0, j, k)
+			tdata = append(tdata, b.T.Data[row:row+b.G.Nx]...)
+		}
+	}
+	if err := f.AddVar("T_guess", []int{b.G.Nx, b.G.Ny, b.G.Nz}, tdata); err != nil {
+		return err
+	}
+	return f.Encode(w)
+}
+
+// LoadCheckpoint restores a state written by SaveCheckpoint into a block
+// built with a matching configuration.
+func (b *Block) LoadCheckpoint(r io.Reader) error {
+	f, err := sdf.Decode(r)
+	if err != nil {
+		return err
+	}
+	for _, dim := range []struct {
+		key  string
+		want int
+	}{{"nx", b.G.Nx}, {"ny", b.G.Ny}, {"nz", b.G.Nz}} {
+		got, err := strconv.Atoi(f.Attrs[dim.key])
+		if err != nil || got != dim.want {
+			return fmt.Errorf("solver: checkpoint %s = %q, block has %d", dim.key, f.Attrs[dim.key], dim.want)
+		}
+	}
+	if m := f.Attrs["mechanism"]; m != b.mech.Name {
+		return fmt.Errorf("solver: checkpoint mechanism %q, block uses %q", m, b.mech.Name)
+	}
+	step, err := strconv.Atoi(f.Attrs["step"])
+	if err != nil {
+		return fmt.Errorf("solver: bad checkpoint step: %v", err)
+	}
+	tme, err := strconv.ParseFloat(f.Attrs["time"], 64)
+	if err != nil {
+		return fmt.Errorf("solver: bad checkpoint time: %v", err)
+	}
+
+	names := b.checkpointVarNames()
+	for v := 0; v < b.nvar; v++ {
+		vr := f.Var(names[v])
+		if vr == nil {
+			return fmt.Errorf("solver: checkpoint missing variable %q", names[v])
+		}
+		if len(vr.Data) != b.G.Nx*b.G.Ny*b.G.Nz {
+			return fmt.Errorf("solver: checkpoint variable %q has %d values", names[v], len(vr.Data))
+		}
+		q := b.Q[v]
+		idx := 0
+		for k := 0; k < b.G.Nz; k++ {
+			for j := 0; j < b.G.Ny; j++ {
+				row := q.Idx(0, j, k)
+				copy(q.Data[row:row+b.G.Nx], vr.Data[idx:idx+b.G.Nx])
+				idx += b.G.Nx
+			}
+		}
+	}
+	if tg := f.Var("T_guess"); tg != nil {
+		idx := 0
+		for k := 0; k < b.G.Nz; k++ {
+			for j := 0; j < b.G.Ny; j++ {
+				row := b.T.Idx(0, j, k)
+				copy(b.T.Data[row:row+b.G.Nx], tg.Data[idx:idx+b.G.Nx])
+				idx += b.G.Nx
+			}
+		}
+	}
+	b.Step = step
+	b.Time = tme
+	return nil
+}

@@ -1,0 +1,148 @@
+package solver
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/chem"
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/transport"
+)
+
+func checkpointConfig() *Config {
+	mech := chem.H2Air()
+	return &Config{
+		Mech:  mech,
+		Trans: transport.MustNew(mech.Set),
+		Grid:  grid.New(grid.Spec{Nx: 14, Ny: 10, Nz: 1, Lx: 0.01, Ly: 0.01, Lz: 0.01}),
+		PInf:  101325,
+	}
+}
+
+func seedCheckpointState(b *Block) {
+	y := make([]float64, b.ns)
+	y[b.mech.Set.Index("O2")] = 0.233
+	y[b.mech.Set.Index("N2")] = 0.767
+	b.SetState(func(x, yy, z float64, s *InflowState) {
+		s.U = 6 * math.Sin(2*math.Pi*x/0.01)
+		s.T = 900 + 300*math.Exp(-((x-0.005)/(0.002))*((x-0.005)/0.002))
+		copy(s.Y, y)
+	}, nil)
+}
+
+// TestRestartBitExact: a run split by checkpoint/restore must match an
+// uninterrupted run exactly — the §9 restart-file contract.
+func TestRestartBitExact(t *testing.T) {
+	dt := 3e-7
+	// Continuous run: 8 steps.
+	cont, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCheckpointState(cont)
+	cont.Advance(8, dt)
+
+	// Split run: 4 steps, checkpoint, restore into a fresh block, 4 more.
+	first, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCheckpointState(first)
+	first.Advance(4, dt)
+	var buf bytes.Buffer
+	if err := first.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if second.Step != 4 || second.Time != first.Time {
+		t.Fatalf("bookkeeping not restored: step %d time %g", second.Step, second.Time)
+	}
+	second.Advance(4, dt)
+
+	for v := 0; v < cont.nvar; v++ {
+		for k := 0; k < cont.G.Nz; k++ {
+			for j := 0; j < cont.G.Ny; j++ {
+				for i := 0; i < cont.G.Nx; i++ {
+					a := cont.Q[v].At(i, j, k)
+					b := second.Q[v].At(i, j, k)
+					if a != b {
+						t.Fatalf("restart diverges: var %d at (%d,%d,%d): %g vs %g",
+							v, i, j, k, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatchedGrid(t *testing.T) {
+	b1, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCheckpointState(b1)
+	var buf bytes.Buffer
+	if err := b1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := checkpointConfig()
+	cfg.Grid = grid.New(grid.Spec{Nx: 16, Ny: 10, Nz: 1, Lx: 0.01, Ly: 0.01, Lz: 0.01})
+	b2, err := NewSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.LoadCheckpoint(&buf); err == nil {
+		t.Fatal("expected grid-mismatch error")
+	}
+}
+
+func TestCheckpointRejectsMismatchedMechanism(t *testing.T) {
+	b1, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCheckpointState(b1)
+	var buf bytes.Buffer
+	if err := b1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mech := chem.CH4Skeletal()
+	cfg := &Config{
+		Mech:  mech,
+		Trans: transport.MustNew(mech.Set),
+		Grid:  grid.New(grid.Spec{Nx: 14, Ny: 10, Nz: 1, Lx: 0.01, Ly: 0.01, Lz: 0.01}),
+		PInf:  101325,
+	}
+	b2, err := NewSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.LoadCheckpoint(&buf); err == nil {
+		t.Fatal("expected mechanism-mismatch error")
+	}
+}
+
+func TestCheckpointTruncatedRejected(t *testing.T) {
+	b1, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCheckpointState(b1)
+	var buf bytes.Buffer
+	if err := b1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b2, _ := NewSerial(checkpointConfig())
+	if err := b2.LoadCheckpoint(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

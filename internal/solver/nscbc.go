@@ -1,0 +1,309 @@
+package solver
+
+import (
+	"math"
+
+	"github.com/s3dgo/s3d/internal/grid"
+)
+
+// Navier–Stokes characteristic boundary conditions (paper §2.6, citing
+// Poinsot-Lele-style non-reflecting inflow/outflow as refined by Yoo et
+// al.). The interior discretisation already used one-sided stencils at
+// physical faces; applyNSCBC replaces the *normal inviscid* part of the
+// right-hand side on each boundary plane with its characteristic (LODI)
+// form, in which outgoing wave amplitudes are taken from the interior and
+// incoming ones are prescribed:
+//
+//   - non-reflecting outflow: incoming acoustic wave relaxes pressure to
+//     p∞ with strength σ·c·(1−M²)/L;
+//   - non-reflecting inflow: incoming acoustic, entropy, shear and species
+//     waves relax u, T, (v,w) and Y toward the target inflow state.
+func (b *Block) applyNSCBC(t float64) {
+	b.Timers.Start("NSCBC")
+	defer b.Timers.Stop("NSCBC")
+	for a := 0; a < 3; a++ {
+		for side := 0; side < 2; side++ {
+			if b.interiorF[a][side] || b.faceBC[a][side] == Periodic {
+				continue
+			}
+			if b.G.Dim(grid.Axis(a)) == 1 {
+				continue
+			}
+			b.charFace(a, side, t)
+		}
+	}
+}
+
+// sigmaOut returns the outflow relaxation strength.
+func (b *Block) sigmaOut() float64 {
+	if b.cfg.SigmaOut > 0 {
+		return b.cfg.SigmaOut
+	}
+	return 0.25
+}
+
+// etaIn returns the inflow relaxation strength.
+func (b *Block) etaIn() float64 {
+	if b.cfg.EtaIn > 0 {
+		return b.cfg.EtaIn
+	}
+	return 0.3
+}
+
+// domainLength returns the global physical extent along the axis, the L in
+// the relaxation coefficients.
+func (b *Block) domainLength(a int) float64 {
+	switch a {
+	case 0:
+		return b.cfg.Grid.Lx
+	case 1:
+		return b.cfg.Grid.Ly
+	default:
+		return b.cfg.Grid.Lz
+	}
+}
+
+// charFace applies the characteristic treatment on one boundary plane.
+func (b *Block) charFace(a, side int, t float64) {
+	axis := grid.Axis(a)
+	n := b.G.Dim(axis) // points along the normal axis
+	bi := 0            // boundary index along the axis
+	if side == 1 {
+		bi = n - 1
+	}
+	bc := b.faceBC[a][side]
+	L := b.domainLength(a)
+	set := b.mech.Set
+	ns := b.ns
+	species := set.Species
+	t1a := (a + 1) % 3 // first tangential axis
+	t2a := (a + 2) % 3
+	vel := [3]*grid.Field3{b.U, b.V, b.W}
+	dvelN := [3]*grid.Field3{b.dU[0][a], b.dU[1][a], b.dU[2][a]}
+
+	// Plane loops: iterate over the two non-normal axes.
+	b.eachPlanePoint(a, bi, func(i, j, k int) {
+		rho := b.Rho.At(i, j, k)
+		p := b.P.At(i, j, k)
+		T := b.T.At(i, j, k)
+		b.gatherY(i, j, k)
+		c := set.SoundSpeed(T, b.yw)
+		un := vel[a].At(i, j, k)
+		ut1 := vel[t1a].At(i, j, k)
+		ut2 := vel[t2a].At(i, j, k)
+		mach := math.Abs(un) / c
+		oneM2 := 1 - mach*mach
+		if oneM2 < 0.05 {
+			oneM2 = 0.05
+		}
+
+		// One-sided normal derivatives from the gradient fields.
+		dp := b.dP[a].At(i, j, k)
+		drho := b.dRho[a].At(i, j, k)
+		dun := dvelN[a].At(i, j, k)
+		dut1 := dvelN[t1a].At(i, j, k)
+		dut2 := dvelN[t2a].At(i, j, k)
+
+		// Wave amplitudes from the interior (outgoing values).
+		l1 := (un - c) * (dp - rho*c*dun)
+		l2 := un * (c*c*drho - dp)
+		l3 := un * dut1
+		l4 := un * dut2
+		l5 := (un + c) * (dp + rho*c*dun)
+		lY := b.hw // scratch: species wave amplitudes
+		for sp := 0; sp < ns; sp++ {
+			lY[sp] = un * b.dY[sp][a].At(i, j, k)
+		}
+
+		// Override incoming amplitudes per boundary type.
+		switch bc {
+		case OutflowNSCBC:
+			kp := b.sigmaOut() * c * oneM2 / L
+			if side == 0 {
+				l5 = kp * (p - b.cfg.PInf) // incoming at a low face travels +n
+			} else {
+				l1 = kp * (p - b.cfg.PInf)
+			}
+		case InflowNSCBC:
+			tgt := b.inflowTarget(a, side, i, j, k, t)
+			eta := b.etaIn()
+			ku := eta * rho * c * c * oneM2 / L
+			kt := eta * c / L
+			if side == 0 {
+				l5 = ku * (un - tgt.U)
+			} else {
+				l1 = -ku * (un - tgt.U)
+			}
+			l2 = -eta * (c / L) * rho * c * c * (T - tgt.T) / T
+			tgtT1, tgtT2 := tangentialTargets(a, tgt)
+			l3 = kt * (ut1 - tgtT1)
+			l4 = kt * (ut2 - tgtT2)
+			for sp := 0; sp < ns; sp++ {
+				lY[sp] = kt * (b.yw[sp] - tgt.Y[sp])
+			}
+		}
+
+		// LODI d-vector.
+		d1 := (l2 + 0.5*(l5+l1)) / (c * c)
+		d2 := 0.5 * (l5 + l1)
+		d3 := (l5 - l1) / (2 * rho * c)
+		d4 := l3
+		d5 := l4
+
+		// Primitive time derivatives from the characteristic normal terms.
+		drhoDt := -d1
+		dpDt := -d2
+		duDt := [3]float64{}
+		duDt[a] = -d3
+		duDt[t1a] = -d4
+		duDt[t2a] = -d5
+		dYDt := b.cw // scratch
+		for sp := 0; sp < ns; sp++ {
+			dYDt[sp] = -lY[sp]
+		}
+
+		// Mixture quantities for the energy conversion.
+		W := b.Wmix.At(i, j, k)
+		cp := set.CpMass(T, b.yw)
+		var dWDt float64
+		for sp := 0; sp < ns; sp++ {
+			dWDt += dYDt[sp] / species[sp].W
+		}
+		dWDt *= -W * W
+		dTDt := T * (dpDt/p - drhoDt/rho + dWDt/W)
+		var dhDt float64
+		var hMix float64
+		for sp := 0; sp < ns; sp++ {
+			hsp := species[sp].H(T)
+			hMix += b.yw[sp] * hsp
+			dhDt += hsp * dYDt[sp]
+		}
+		dhDt += cp * dTDt
+
+		uVec := [3]float64{b.U.At(i, j, k), b.V.At(i, j, k), b.W.At(i, j, k)}
+		ke := 0.5 * (uVec[0]*uVec[0] + uVec[1]*uVec[1] + uVec[2]*uVec[2])
+		dRhoE := hMix*drhoDt + rho*dhDt - dpDt + ke*drhoDt +
+			rho*(uVec[0]*duDt[0]+uVec[1]*duDt[1]+uVec[2]*duDt[2])
+
+		// Conventional normal inviscid flux derivative at this point, to be
+		// removed from the RHS (the divergence already subtracted it).
+		dphi := b.normalInviscidDeriv(a, side, i, j, k)
+
+		// rhs_new = rhs_old + ∂φ_inv/∂n + ddt_char.
+		b.rhs[iRho].Add(i, j, k, dphi[iRho]+drhoDt)
+		for comp := 0; comp < 3; comp++ {
+			b.rhs[iRhoU+comp].Add(i, j, k,
+				dphi[iRhoU+comp]+uVec[comp]*drhoDt+rho*duDt[comp])
+		}
+		b.rhs[iRhoE].Add(i, j, k, dphi[iRhoE]+dRhoE)
+		for sp := 0; sp < ns-1; sp++ {
+			b.rhs[iY0+sp].Add(i, j, k,
+				dphi[iY0+sp]+b.yw[sp]*drhoDt+rho*dYDt[sp])
+		}
+	})
+}
+
+// tangentialTargets maps the inflow target velocity vector onto the face's
+// tangential axes.
+func tangentialTargets(a int, tgt *InflowState) (float64, float64) {
+	v := [3]float64{tgt.U, tgt.V, tgt.W}
+	return v[(a+1)%3], v[(a+2)%3]
+}
+
+// inflowTarget returns the relaxation target at a face point. The normal
+// component of the target is stored in U regardless of the face axis.
+func (b *Block) inflowTarget(a, side, i, j, k int, t float64) *InflowState {
+	if a == 0 && side == 0 && b.inflowTargets != nil {
+		tgt := &b.inflowTargets[k*b.G.Ny+j]
+		b.cfg.Inflow(b.G.Yc[j], b.G.Zc[k], t, tgt)
+		return tgt
+	}
+	// Other faces: evaluate into a block-level scratch target.
+	if b.scratchTarget.Y == nil {
+		b.scratchTarget.Y = make([]float64, b.ns)
+	}
+	b.cfg.Inflow(b.G.Yc[j], b.G.Zc[k], t, &b.scratchTarget)
+	return &b.scratchTarget
+}
+
+// eachPlanePoint visits every interior point of the boundary plane at index
+// bi along axis a.
+func (b *Block) eachPlanePoint(a, bi int, fn func(i, j, k int)) {
+	switch a {
+	case 0:
+		for k := 0; k < b.G.Nz; k++ {
+			for j := 0; j < b.G.Ny; j++ {
+				fn(bi, j, k)
+			}
+		}
+	case 1:
+		for k := 0; k < b.G.Nz; k++ {
+			for i := 0; i < b.G.Nx; i++ {
+				fn(i, bi, k)
+			}
+		}
+	default:
+		for j := 0; j < b.G.Ny; j++ {
+			for i := 0; i < b.G.Nx; i++ {
+				fn(i, j, bi)
+			}
+		}
+	}
+}
+
+// oneSided4 are the fully one-sided fourth-order derivative weights used at
+// the boundary point itself (must match deriv's closure so the conventional
+// term is removed exactly).
+var oneSided4 = [5]float64{-25.0 / 12.0, 4.0, -3.0, 4.0 / 3.0, -1.0 / 4.0}
+
+// normalInviscidDeriv computes ∂φ_inv/∂n for every conserved variable at a
+// boundary point with the same one-sided stencil the divergence used, where
+// φ_inv is the inviscid part of the normal flux (convection + pressure).
+func (b *Block) normalInviscidDeriv(a, side, i, j, k int) []float64 {
+	met := b.G.Metric(grid.Axis(a))
+	nvar := b.nvar
+	out := make([]float64, nvar)
+	var flux = make([]float64, nvar)
+	idx := [3]int{i, j, k}
+	bi := idx[a]
+	for m := 0; m < 5; m++ {
+		off := m
+		w := oneSided4[m]
+		if side == 1 {
+			off = -m
+			w = -w
+		}
+		pt := idx
+		pt[a] = bi + off
+		b.inviscidNormalFlux(a, pt[0], pt[1], pt[2], flux)
+		for v := 0; v < nvar; v++ {
+			out[v] += w * flux[v]
+		}
+	}
+	for v := 0; v < nvar; v++ {
+		out[v] *= met[bi]
+	}
+	return out
+}
+
+// inviscidNormalFlux fills flux with the inviscid normal flux components at
+// a point: mass ρu_n; momentum ρu_c·u_n + δ_cn·p; energy u_n(ρe₀+p);
+// species ρY·u_n.
+func (b *Block) inviscidNormalFlux(a, i, j, k int, flux []float64) {
+	rho := b.Rho.At(i, j, k)
+	p := b.P.At(i, j, k)
+	u := [3]float64{b.U.At(i, j, k), b.V.At(i, j, k), b.W.At(i, j, k)}
+	un := u[a]
+	flux[iRho] = rho * un
+	for c := 0; c < 3; c++ {
+		f := rho * u[c] * un
+		if c == a {
+			f += p
+		}
+		flux[iRhoU+c] = f
+	}
+	flux[iRhoE] = un * (b.Q[iRhoE].At(i, j, k) + p)
+	for n := 0; n < b.ns-1; n++ {
+		flux[iY0+n] = rho * b.Y[n].At(i, j, k) * un
+	}
+}

@@ -1,0 +1,209 @@
+package solver
+
+import (
+	"github.com/s3dgo/s3d/internal/deriv"
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/thermo"
+)
+
+// gasR is the universal gas constant (J/(mol·K)).
+const gasR = thermo.R
+
+// message tag bases for the two exchange rounds of each RHS evaluation.
+const (
+	tagConserved = 0
+	tagFlux      = 100
+)
+
+// computeRHS evaluates dQ/dt into b.rhs at simulation time t. It performs
+// the full S3D right-hand side: ghost exchange of the conserved state,
+// primitive and transport-property recovery, gradient evaluation, flux
+// assembly (convective + viscous + diffusive), a second ghost exchange of
+// the fluxes, flux divergence, chemical source terms and NSCBC boundary
+// corrections.
+func (b *Block) computeRHS(t float64) {
+	b.exchangeHalos(b.Q, tagConserved)
+	b.computePrimitives()
+	b.computeTransport()
+	b.computeGradients()
+	b.computeDiffFlux()
+	b.assembleFluxes()
+
+	all := make([]*grid.Field3, 0, 3*b.nvar)
+	for v := 0; v < b.nvar; v++ {
+		all = append(all, b.flux[v][0], b.flux[v][1], b.flux[v][2])
+	}
+	b.exchangeHalos(all, tagFlux)
+
+	b.divergence()
+	if !b.cfg.ChemistryOff {
+		b.chemSource()
+	}
+	b.applyNSCBC(t)
+}
+
+// lohi returns the derivative closures for an axis.
+func (b *Block) lohi(a grid.Axis) (deriv.BC, deriv.BC) {
+	lo, hi := deriv.OneSided, deriv.OneSided
+	if b.loGhost[a] {
+		lo = deriv.UseGhosts
+	}
+	if b.hiGhost[a] {
+		hi = deriv.UseGhosts
+	}
+	return lo, hi
+}
+
+// diff differentiates f along axis a into dst with the block's closures.
+func (b *Block) diff(dst, f *grid.Field3, a grid.Axis) {
+	lo, hi := b.lohi(a)
+	deriv.Diff(dst, f, a, b.G.Metric(a), lo, hi)
+}
+
+// computeGradients evaluates the first derivatives needed by the viscous
+// and diffusive fluxes (velocity, temperature, species, mean molecular
+// weight) and, on axes with physical NSCBC faces, density and pressure
+// gradients for the characteristic boundary treatment.
+func (b *Block) computeGradients() {
+	b.Timers.Start("DERIVATIVES")
+	defer b.Timers.Stop("DERIVATIVES")
+	vel := [3]*grid.Field3{b.U, b.V, b.W}
+	for d := 0; d < 3; d++ {
+		a := grid.Axis(d)
+		for c := 0; c < 3; c++ {
+			b.diff(b.dU[c][d], vel[c], a)
+		}
+		b.diff(b.dT[d], b.T, a)
+		b.diff(b.dW[d], b.Wmix, a)
+		for n := 0; n < b.ns; n++ {
+			b.diff(b.dY[n][d], b.Y[n], a)
+		}
+		if b.needsNSCBC(d) {
+			b.diff(b.dRho[d], b.Rho, a)
+			b.diff(b.dP[d], b.P, a)
+		}
+	}
+}
+
+// needsNSCBC reports whether the axis has a physical characteristic face on
+// this block.
+func (b *Block) needsNSCBC(a int) bool {
+	loPhys := !b.interiorF[a][0] && b.faceBC[a][0] != Periodic
+	hiPhys := !b.interiorF[a][1] && b.faceBC[a][1] != Periodic
+	return loPhys || hiPhys
+}
+
+// assembleFluxes builds flux[var][dir] over the interior:
+//
+//	mass:      ρu_d
+//	momentum:  ρu_c·u_d + δ_cd·p − τ_cd                  (paper eqs. 2, 14)
+//	energy:    u_d(ρe₀+p) − (τ·u)_d + q_d               (paper eqs. 3, 20)
+//	species:   ρY_n·u_d + J_nd                           (paper eq. 4)
+//
+// with q = −λ∇T + Σ hₙ·Jₙ. The diffusive fluxes J were prepared by
+// computeDiffFlux (figure 4/5 kernel) including the correction velocity.
+func (b *Block) assembleFluxes() {
+	b.Timers.Start("ASSEMBLE_FLUXES")
+	defer b.Timers.Stop("ASSEMBLE_FLUXES")
+	ns := b.ns
+	species := b.mech.Set.Species
+	h := b.hw
+	for k := 0; k < b.G.Nz; k++ {
+		for j := 0; j < b.G.Ny; j++ {
+			for i := 0; i < b.G.Nx; i++ {
+				rho := b.Rho.At(i, j, k)
+				u := [3]float64{b.U.At(i, j, k), b.V.At(i, j, k), b.W.At(i, j, k)}
+				p := b.P.At(i, j, k)
+				T := b.T.At(i, j, k)
+				mu := b.Mu.At(i, j, k)
+				lam := b.Lambda.At(i, j, k)
+				rhoE := b.Q[iRhoE].At(i, j, k)
+
+				// Stress tensor (eq. 14): τ = μ(∇u + ∇uᵀ − ⅔δ∇·u).
+				var gu [3][3]float64
+				for c := 0; c < 3; c++ {
+					for d := 0; d < 3; d++ {
+						gu[c][d] = b.dU[c][d].At(i, j, k)
+					}
+				}
+				div := gu[0][0] + gu[1][1] + gu[2][2]
+				var tau [3][3]float64
+				for c := 0; c < 3; c++ {
+					for d := 0; d < 3; d++ {
+						tau[c][d] = mu * (gu[c][d] + gu[d][c])
+					}
+					tau[c][c] -= mu * 2.0 / 3.0 * div
+				}
+
+				for n := 0; n < ns; n++ {
+					h[n] = species[n].H(T)
+				}
+
+				for d := 0; d < 3; d++ {
+					// Heat flux (eq. 20).
+					q := -lam * b.dT[d].At(i, j, k)
+					for n := 0; n < ns; n++ {
+						q += h[n] * b.J[d][n].At(i, j, k)
+					}
+
+					b.flux[iRho][d].Set(i, j, k, rho*u[d])
+					for c := 0; c < 3; c++ {
+						f := rho*u[c]*u[d] - tau[c][d]
+						if c == d {
+							f += p
+						}
+						b.flux[iRhoU+c][d].Set(i, j, k, f)
+					}
+					fe := u[d]*(rhoE+p) + q
+					for c := 0; c < 3; c++ {
+						fe -= tau[c][d] * u[c]
+					}
+					b.flux[iRhoE][d].Set(i, j, k, fe)
+					for n := 0; n < ns-1; n++ {
+						b.flux[iY0+n][d].Set(i, j, k,
+							rho*b.Y[n].At(i, j, k)*u[d]+b.J[d][n].At(i, j, k))
+					}
+				}
+			}
+		}
+	}
+}
+
+// divergence sets rhs[v] = −Σ_d ∂flux[v][d]/∂x_d over the interior.
+func (b *Block) divergence() {
+	b.Timers.Start("DERIVATIVES")
+	defer b.Timers.Stop("DERIVATIVES")
+	for v := 0; v < b.nvar; v++ {
+		b.diff(b.rhs[v], b.flux[v][0], grid.X)
+		for d := 1; d < 3; d++ {
+			b.diff(b.scratchF, b.flux[v][d], grid.Axis(d))
+			b.rhs[v].AXPY(1, b.scratchF)
+		}
+		b.rhs[v].Scale(-1)
+	}
+}
+
+// chemSource adds the chemical production terms Wₙ·ω̇ₙ to the species
+// equations (paper eq. 4). Total energy needs no source: the enthalpy in e₀
+// already carries the chemical contribution.
+func (b *Block) chemSource() {
+	b.Timers.Start("REACTION_RATE_BOUNDS")
+	defer b.Timers.Stop("REACTION_RATE_BOUNDS")
+	ns := b.ns
+	species := b.mech.Set.Species
+	for k := 0; k < b.G.Nz; k++ {
+		for j := 0; j < b.G.Ny; j++ {
+			for i := 0; i < b.G.Nx; i++ {
+				rho := b.Rho.At(i, j, k)
+				T := b.T.At(i, j, k)
+				for n := 0; n < ns; n++ {
+					b.cw[n] = rho * b.Y[n].At(i, j, k) / species[n].W
+				}
+				b.mech.ProductionRates(T, b.cw, b.wdot)
+				for n := 0; n < ns-1; n++ {
+					b.rhs[iY0+n].Add(i, j, k, species[n].W*b.wdot[n])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package solver implements the S3D core: the fully compressible reacting
+// Navier–Stokes equations in conservative form (paper eqs. 1–4) on a
+// structured Cartesian mesh, discretised with eighth-order central
+// differences and a tenth-order filter (§2.6), advanced by a six-stage
+// fourth-order low-storage Runge–Kutta scheme, with detailed chemistry,
+// mixture-averaged transport and Navier–Stokes characteristic boundary
+// conditions (NSCBC). The domain is decomposed into equal blocks over a 3-D
+// Cartesian process topology with nearest-neighbour ghost-zone exchange.
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/s3dgo/s3d/internal/chem"
+	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/perf"
+	"github.com/s3dgo/s3d/internal/transport"
+)
+
+// BCType selects the physical boundary treatment of one domain face.
+type BCType int
+
+// Boundary-condition kinds. The jet configurations of the paper use a
+// non-reflecting characteristic inflow at x-min, non-reflecting outflows at
+// x-max and the y faces, and a periodic spanwise z direction.
+const (
+	Periodic BCType = iota
+	InflowNSCBC
+	OutflowNSCBC
+)
+
+// InflowState is the target state a characteristic inflow relaxes toward.
+type InflowState struct {
+	U, V, W float64
+	T       float64
+	Y       []float64
+}
+
+// InflowFunc returns the inflow target at transverse position (y, z) and
+// time t. The returned Y slice must have species length and sum to one.
+type InflowFunc func(y, z, t float64, target *InflowState)
+
+// DiffFluxKernel selects the diffusive-flux implementation (the figure 4/5
+// optimisation study).
+type DiffFluxKernel int
+
+// The two diffusive-flux kernel variants.
+const (
+	// DiffFluxNaive mirrors the original Fortran-90 array-syntax code:
+	// separate full-grid sweeps per species and direction with temporary
+	// arrays, recomputing shared subexpressions — the "as naturally written"
+	// version whose cache behaviour figure 4 dissects.
+	DiffFluxNaive DiffFluxKernel = iota
+	// DiffFluxOptimized is the LoopTool-transformed equivalent: conditionals
+	// unswitched, array statements scalarised and fused into one loop nest,
+	// species loop unroll-and-jammed, so every dYdx/W/ρD value is reused in
+	// registers.
+	DiffFluxOptimized
+)
+
+// Config assembles a simulation.
+type Config struct {
+	Mech  *chem.Mechanism
+	Trans *transport.Model
+	Grid  *grid.Grid // global grid
+
+	// BC[axis][side]: side 0 = low, 1 = high. Periodic axes must be
+	// periodic on both sides.
+	BC [3][2]BCType
+
+	Inflow InflowFunc // required when any face is InflowNSCBC
+	PInf   float64    // far-field pressure for outflow relaxation (Pa)
+
+	// NSCBC relaxation strengths (dimensionless); zero selects defaults
+	// (σ = 0.25 outflow, η = 0.3 inflow).
+	SigmaOut float64
+	EtaIn    float64
+
+	// FilterEvery applies the tenth-order filter every N steps (0 disables;
+	// S3D filters periodically to remove spurious high-frequency content).
+	FilterEvery    int
+	FilterStrength float64 // σ in (0,1]; 0 selects 1.0
+
+	CFL          float64 // acoustic CFL number; 0 selects 0.8
+	FixedDt      float64 // overrides CFL when > 0 (the paper uses fixed 4 ns steps)
+	DiffFlux     DiffFluxKernel
+	ChemistryOff bool // inert runs (pressure-wave tests, figure 4/5 kernel study)
+
+	// ConstLewis, when positive, replaces the mixture-averaged diffusion
+	// coefficients by the constant-Lewis-number model Dᵢ = λ/(ρ·cp·Le) —
+	// the classical simplification the paper's mixture-averaged transport
+	// improves upon (an ablation: it suppresses the differential diffusion
+	// of light species like H and H2 that drives the lean-ignition finding
+	// of §6.3).
+	ConstLewis float64
+}
+
+// nVar returns the number of conserved variables: ρ, ρu, ρv, ρw, ρe₀ and
+// Ns−1 species partial densities (the last species is recovered from
+// ΣYᵢ = 1, paper eq. 6).
+func (c *Config) nVar() int { return 5 + c.Mech.NumSpecies() - 1 }
+
+// Conserved-variable indices.
+const (
+	iRho  = 0
+	iRhoU = 1
+	iRhoV = 2
+	iRhoW = 3
+	iRhoE = 4
+	iY0   = 5 // first species partial density
+)
+
+// Block is the state owned by one rank: a subdomain with ghost layers, the
+// conserved and primitive fields, transport properties and scratch space.
+// A serial run is a single Block with no communicator.
+type Block struct {
+	cfg   *Config
+	G     *grid.Grid // local grid
+	mech  *chem.Mechanism
+	trans *transport.Model
+
+	cart *comm.Cart // nil for serial runs
+	// offset of the local block in the global grid
+	i0, j0, k0 int
+
+	ns, nvar int
+
+	// Q and dQ are the RK 2N registers of conserved fields.
+	Q, dQ []*grid.Field3
+	// rhs receives the time derivative each stage.
+	rhs []*grid.Field3
+
+	// Primitive fields (valid on interior plus ghost layers on connected
+	// faces after computePrimitives).
+	Rho, U, V, W, T, P, Wmix *grid.Field3
+	Y                        []*grid.Field3
+
+	// Transport property fields.
+	Mu, Lambda *grid.Field3
+	D          []*grid.Field3
+
+	// Gradient fields (interior only).
+	dU   [3][3]*grid.Field3 // dU[comp][dir]
+	dT   [3]*grid.Field3
+	dW   [3]*grid.Field3
+	dY   [][3]*grid.Field3 // [species][dir]
+	dRho [3]*grid.Field3
+	dP   [3]*grid.Field3
+
+	// Species diffusive fluxes J[dir][species] and total fluxes
+	// flux[var][dir].
+	J    [3][]*grid.Field3
+	flux [][3]*grid.Field3
+
+	// Per-face boundary condition resolved for this block: interior faces
+	// (with a neighbouring rank) behave like UseGhosts.
+	faceBC    [3][2]BCType
+	interiorF [3][2]bool // true when the face adjoins another rank
+
+	// ghostValid[axis] reports whether ghost layers along the axis hold
+	// valid data (periodic wrap or halo exchange); when false, one-sided
+	// stencils are used at that face.
+	loGhost, hiGhost [3]bool
+
+	// pointwise scratch
+	yw, cw, wdot, hw []float64
+	props            transport.Props
+	scratchF         *grid.Field3
+	naiveT1, naiveT2 *grid.Field3 // temporaries of the naive diff-flux kernel
+
+	// inflow target cache per (j,k) on the x-min face
+	inflowTargets []InflowState
+	scratchTarget InflowState
+
+	Timers *perf.Timers
+	Step   int
+	Time   float64
+}
+
+// NewSerial builds a single-block (serial) simulation over the whole grid.
+func NewSerial(cfg *Config) (*Block, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	b := newBlock(cfg, cfg.Grid, nil, 0, 0, 0)
+	return b, nil
+}
+
+// NewParallel builds the rank-local block for a decomposed run. The cart
+// topology supplies the block's position; the global grid is split with
+// comm.Decompose1D along each axis.
+func NewParallel(cfg *Config, cart *comm.Cart) (*Block, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	co := cart.Coords()
+	i0, nx := comm.Decompose1D(cfg.Grid.Nx, cart.Dims[0], co[0])
+	j0, ny := comm.Decompose1D(cfg.Grid.Ny, cart.Dims[1], co[1])
+	k0, nz := comm.Decompose1D(cfg.Grid.Nz, cart.Dims[2], co[2])
+	local := cfg.Grid.Sub(i0, nx, j0, ny, k0, nz)
+	return newBlock(cfg, local, cart, i0, j0, k0), nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.Mech == nil || cfg.Trans == nil || cfg.Grid == nil {
+		return fmt.Errorf("solver: config requires Mech, Trans and Grid")
+	}
+	if cfg.Trans.Set != cfg.Mech.Set {
+		return fmt.Errorf("solver: transport model and mechanism use different species sets")
+	}
+	for a := 0; a < 3; a++ {
+		if (cfg.BC[a][0] == Periodic) != (cfg.BC[a][1] == Periodic) {
+			return fmt.Errorf("solver: axis %d periodic on one side only", a)
+		}
+		hasInflow := cfg.BC[a][0] == InflowNSCBC || cfg.BC[a][1] == InflowNSCBC
+		if hasInflow && cfg.Inflow == nil {
+			return fmt.Errorf("solver: inflow BC requires Config.Inflow")
+		}
+	}
+	if cfg.PInf <= 0 {
+		outflow := false
+		for a := 0; a < 3; a++ {
+			for s := 0; s < 2; s++ {
+				if cfg.BC[a][s] == OutflowNSCBC || cfg.BC[a][s] == InflowNSCBC {
+					outflow = true
+				}
+			}
+		}
+		if outflow {
+			return fmt.Errorf("solver: NSCBC boundaries require Config.PInf")
+		}
+	}
+	return nil
+}
+
+func newBlock(cfg *Config, local *grid.Grid, cart *comm.Cart, i0, j0, k0 int) *Block {
+	ns := cfg.Mech.NumSpecies()
+	b := &Block{
+		cfg: cfg, G: local,
+		mech:  cfg.Mech.Clone(),
+		trans: cfg.Trans.Clone(),
+		cart:  cart,
+		i0:    i0, j0: j0, k0: k0,
+		ns: ns, nvar: cfg.nVar(),
+		Timers: perf.NewTimers(),
+	}
+	nf := func() *grid.Field3 { return grid.NewField3(local) }
+	b.Q = make([]*grid.Field3, b.nvar)
+	b.dQ = make([]*grid.Field3, b.nvar)
+	b.rhs = make([]*grid.Field3, b.nvar)
+	b.flux = make([][3]*grid.Field3, b.nvar)
+	for v := 0; v < b.nvar; v++ {
+		b.Q[v], b.dQ[v], b.rhs[v] = nf(), nf(), nf()
+		for d := 0; d < 3; d++ {
+			b.flux[v][d] = nf()
+		}
+	}
+	b.Rho, b.U, b.V, b.W, b.T, b.P, b.Wmix = nf(), nf(), nf(), nf(), nf(), nf(), nf()
+	b.Mu, b.Lambda = nf(), nf()
+	b.Y = make([]*grid.Field3, ns)
+	b.D = make([]*grid.Field3, ns)
+	b.dY = make([][3]*grid.Field3, ns)
+	for i := 0; i < ns; i++ {
+		b.Y[i], b.D[i] = nf(), nf()
+		for d := 0; d < 3; d++ {
+			b.dY[i][d] = nf()
+		}
+	}
+	for c := 0; c < 3; c++ {
+		for d := 0; d < 3; d++ {
+			b.dU[c][d] = nf()
+		}
+		b.dT[c], b.dW[c], b.dRho[c], b.dP[c] = nf(), nf(), nf(), nf()
+		b.J[c] = make([]*grid.Field3, ns)
+		for i := 0; i < ns; i++ {
+			b.J[c][i] = nf()
+		}
+	}
+	b.yw = make([]float64, ns)
+	b.cw = make([]float64, ns)
+	b.wdot = make([]float64, ns)
+	b.hw = make([]float64, ns)
+	b.props = transport.Props{Dmix: make([]float64, ns)}
+	b.scratchF = nf()
+	// T initial guess for Newton inversion.
+	b.T.Fill(300)
+
+	// Resolve per-face treatment.
+	for a := 0; a < 3; a++ {
+		for s := 0; s < 2; s++ {
+			b.faceBC[a][s] = cfg.BC[a][s]
+		}
+	}
+	if cart != nil {
+		for a := 0; a < 3; a++ {
+			if !cart.OnLowBoundary(a) {
+				b.interiorF[a][0] = true
+			}
+			if !cart.OnHighBoundary(a) {
+				b.interiorF[a][1] = true
+			}
+		}
+	}
+	for a := 0; a < 3; a++ {
+		perio := cfg.BC[a][0] == Periodic
+		b.loGhost[a] = perio || b.interiorF[a][0]
+		b.hiGhost[a] = perio || b.interiorF[a][1]
+	}
+	if b.faceBC[0][0] == InflowNSCBC && !b.interiorF[0][0] {
+		b.inflowTargets = make([]InflowState, b.G.Ny*b.G.Nz)
+		for i := range b.inflowTargets {
+			b.inflowTargets[i].Y = make([]float64, ns)
+		}
+	}
+	return b
+}
+
+// NumSpecies returns the species count.
+func (b *Block) NumSpecies() int { return b.ns }
+
+// GlobalOffset returns the block's origin in the global grid.
+func (b *Block) GlobalOffset() (i0, j0, k0 int) { return b.i0, b.j0, b.k0 }
+
+// SetState initialises the conserved fields from primitive profiles:
+// fn(x, y, z) must fill the state with velocity, temperature and
+// composition; pressure is prescribed uniform at cfg.PInf unless pFn is
+// non-nil.
+func (b *Block) SetState(fn func(x, y, z float64, s *InflowState), pFn func(x, y, z float64) float64) {
+	ns := b.ns
+	st := InflowState{Y: make([]float64, ns)}
+	set := b.mech.Set
+	for k := 0; k < b.G.Nz; k++ {
+		for j := 0; j < b.G.Ny; j++ {
+			for i := 0; i < b.G.Nx; i++ {
+				x, y, z := b.G.Xc[i], b.G.Yc[j], b.G.Zc[k]
+				fn(x, y, z, &st)
+				p := b.cfg.PInf
+				if pFn != nil {
+					p = pFn(x, y, z)
+				}
+				rho := set.Density(p, st.T, st.Y)
+				e0 := set.EMass(st.T, st.Y) + 0.5*(st.U*st.U+st.V*st.V+st.W*st.W)
+				b.Q[iRho].Set(i, j, k, rho)
+				b.Q[iRhoU].Set(i, j, k, rho*st.U)
+				b.Q[iRhoV].Set(i, j, k, rho*st.V)
+				b.Q[iRhoW].Set(i, j, k, rho*st.W)
+				b.Q[iRhoE].Set(i, j, k, rho*e0)
+				for n := 0; n < ns-1; n++ {
+					b.Q[iY0+n].Set(i, j, k, rho*st.Y[n])
+				}
+				b.T.Set(i, j, k, st.T) // Newton guess
+			}
+		}
+	}
+}
+
+// bcFor returns the derivative closure for the axis given ghost validity.
+func (b *Block) bcLo(a grid.Axis) bool { return b.loGhost[a] }
+func (b *Block) bcHi(a grid.Axis) bool { return b.hiGhost[a] }
+
+// MinMaxT returns the interior temperature extrema (monitoring).
+func (b *Block) MinMaxT() (float64, float64) { return b.T.MinMax() }
+
+// TotalMass integrates ρ over the block interior (uniform-spacing measure
+// per cell; used by conservation tests on uniform grids).
+func (b *Block) TotalMass() float64 { return b.Q[iRho].SumInterior() }
+
+// AcousticDt returns the acoustic CFL time-step limit for the block.
+func (b *Block) AcousticDt() float64 {
+	h := b.G.MinSpacing()
+	maxSpeed := 0.0
+	set := b.mech.Set
+	for k := 0; k < b.G.Nz; k++ {
+		for j := 0; j < b.G.Ny; j++ {
+			for i := 0; i < b.G.Nx; i++ {
+				b.gatherY(i, j, k)
+				c := set.SoundSpeed(b.T.At(i, j, k), b.yw)
+				s := math.Abs(b.U.At(i, j, k)) + math.Abs(b.V.At(i, j, k)) + math.Abs(b.W.At(i, j, k)) + c
+				if s > maxSpeed {
+					maxSpeed = s
+				}
+			}
+		}
+	}
+	if maxSpeed == 0 {
+		return math.Inf(1)
+	}
+	cfl := b.cfg.CFL
+	if cfl <= 0 {
+		cfl = 0.8
+	}
+	return cfl * h / maxSpeed
+}
+
+// gatherY copies the full species vector at a point into b.yw.
+func (b *Block) gatherY(i, j, k int) {
+	for n := 0; n < b.ns; n++ {
+		b.yw[n] = b.Y[n].At(i, j, k)
+	}
+}

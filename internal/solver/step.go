@@ -1,0 +1,126 @@
+package solver
+
+import (
+	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/deriv"
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/rk"
+)
+
+// Advance integrates the block forward by nSteps steps of size dt using the
+// six-stage fourth-order low-storage Runge–Kutta scheme (paper §2.6) and
+// applies the tenth-order filter at the configured cadence.
+func (b *Block) Advance(nSteps int, dt float64) {
+	for s := 0; s < nSteps; s++ {
+		b.StepOnce(dt)
+	}
+}
+
+// StepOnce advances a single time step.
+func (b *Block) StepOnce(dt float64) {
+	scheme := rk.RK46NL
+	// Zero the 2N accumulation registers.
+	for v := 0; v < b.nvar; v++ {
+		b.dQ[v].Fill(0)
+	}
+	scheme.Drive(b.Time, dt, func(stageTime float64) {
+		b.computeRHS(stageTime)
+	}, func(stage int, a, bb, _ float64) {
+		b.Timers.Start("RK_UPDATE")
+		for v := 0; v < b.nvar; v++ {
+			dq, q, r := b.dQ[v].Data, b.Q[v].Data, b.rhs[v].Data
+			// Update interior points only; ghosts are refreshed by exchange.
+			for k := 0; k < b.G.Nz; k++ {
+				for j := 0; j < b.G.Ny; j++ {
+					row := b.Q[v].Idx(0, j, k)
+					for i := row; i < row+b.G.Nx; i++ {
+						dq[i] = a*dq[i] + dt*r[i]
+						q[i] += bb * dq[i]
+					}
+				}
+			}
+		}
+		b.Timers.Stop("RK_UPDATE")
+	})
+	b.Step++
+	b.Time += dt
+	if fe := b.cfg.FilterEvery; fe > 0 && b.Step%fe == 0 {
+		b.ApplyFilter()
+	}
+}
+
+// ApplyFilter applies the tenth-order low-pass filter to every conserved
+// field along every axis (paper §2.6: an eleven-point explicit filter
+// removes spurious high-frequency fluctuations).
+func (b *Block) ApplyFilter() {
+	b.Timers.Start("FILTER")
+	defer b.Timers.Stop("FILTER")
+	sigma := b.cfg.FilterStrength
+	if sigma <= 0 {
+		sigma = 1
+	}
+	for d := 0; d < 3; d++ {
+		a := grid.Axis(d)
+		if b.G.Dim(a) == 1 {
+			continue
+		}
+		b.exchangeHalos(b.Q, tagConserved)
+		lo, hi := b.lohi(a)
+		for v := 0; v < b.nvar; v++ {
+			deriv.Filter(b.scratchF, b.Q[v], a, sigma, lo, hi)
+			b.copyInterior(b.Q[v], b.scratchF)
+		}
+	}
+}
+
+func (b *Block) copyInterior(dst, src *grid.Field3) {
+	for k := 0; k < b.G.Nz; k++ {
+		for j := 0; j < b.G.Ny; j++ {
+			rs := src.Idx(0, j, k)
+			rd := dst.Idx(0, j, k)
+			copy(dst.Data[rd:rd+b.G.Nx], src.Data[rs:rs+b.G.Nx])
+		}
+	}
+}
+
+// RefreshPrimitives recomputes the primitive fields from the current
+// conserved state (for diagnostics between steps).
+func (b *Block) RefreshPrimitives() {
+	b.exchangeHalos(b.Q, tagConserved)
+	b.computePrimitives()
+}
+
+// GlobalDt returns the acoustic time step reduced across all ranks (the
+// serial block returns its own).
+func (b *Block) GlobalDt() float64 {
+	dt := b.AcousticDt()
+	if b.cart != nil {
+		v := []float64{dt}
+		b.cart.Comm.Allreduce(comm.Min, v)
+		dt = v[0]
+	}
+	return dt
+}
+
+// RunParallel decomposes the configuration over a dims[0]×dims[1]×dims[2]
+// process grid and runs body on every rank's freshly constructed block.
+// Periodicity of the process topology follows the physical BCs.
+func RunParallel(cfg *Config, dims [3]int, body func(b *Block)) error {
+	w := comm.NewWorld(dims[0] * dims[1] * dims[2])
+	periodic := [3]bool{
+		cfg.BC[0][0] == Periodic,
+		cfg.BC[1][0] == Periodic,
+		cfg.BC[2][0] == Periodic,
+	}
+	return w.Run(func(c *comm.Comm) {
+		cart, err := comm.NewCart(c, dims, periodic)
+		if err != nil {
+			panic(err)
+		}
+		blk, err := NewParallel(cfg, cart)
+		if err != nil {
+			panic(err)
+		}
+		body(blk)
+	})
+}

@@ -1,0 +1,238 @@
+package thermo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func air() (*Set, []float64) {
+	s := MustSet("O2", "N2")
+	return s, []float64{0.233, 0.767}
+}
+
+func TestCpFitReproducesTable(t *testing.T) {
+	for name, raw := range rawDatabase {
+		sp := database[name]
+		for i, T := range fitTemps {
+			got := sp.CpR(T)
+			want := raw.cpR[i]
+			if rel := math.Abs(got-want) / want; rel > 0.02 {
+				t.Errorf("%s: cp/R(%g) = %.4f, table %.4f (rel %.3f)", name, T, got, want, rel)
+			}
+		}
+	}
+}
+
+func TestEnthalpyOfFormationPinned(t *testing.T) {
+	for name, raw := range rawDatabase {
+		sp := database[name]
+		if got := sp.HMolar(T0); math.Abs(got-raw.hf) > 1 { // J/mol
+			t.Errorf("%s: h(T0) = %g, want %g", name, got, raw.hf)
+		}
+	}
+}
+
+func TestStandardEntropyPinned(t *testing.T) {
+	for name, raw := range rawDatabase {
+		sp := database[name]
+		if got := sp.SR(T0) * R; math.Abs(got-raw.s0) > 0.01 {
+			t.Errorf("%s: s(T0) = %g, want %g", name, got, raw.s0)
+		}
+	}
+}
+
+func TestEnthalpyCpConsistency(t *testing.T) {
+	// dh/dT must equal cp — the fundamental consistency the solver's energy
+	// equation relies on.
+	for name, sp := range database {
+		for _, T := range []float64{350, 800, 1400, 2200, 2900} {
+			dT := 0.01
+			dhdT := (sp.H(T+dT) - sp.H(T-dT)) / (2 * dT)
+			cp := sp.Cp(T)
+			if rel := math.Abs(dhdT-cp) / cp; rel > 1e-5 {
+				t.Errorf("%s: dh/dT(%g) = %g vs cp = %g", name, T, dhdT, cp)
+			}
+		}
+	}
+}
+
+func TestGibbsConsistency(t *testing.T) {
+	// g = h − T·s by construction; check the three accessors agree.
+	sp := database["H2O"]
+	for _, T := range []float64{400, 1200, 2500} {
+		g := sp.GRT(T)
+		want := sp.HRT(T) - sp.SR(T)
+		if math.Abs(g-want) > 1e-12 {
+			t.Fatalf("GRT inconsistent at %g: %g vs %g", T, g, want)
+		}
+	}
+}
+
+func TestWaterFormationEnthalpy(t *testing.T) {
+	// H2 + ½O2 → H2O releases ≈ 241.8 kJ/mol at 298 K.
+	h2 := database["H2"]
+	o2 := database["O2"]
+	h2o := database["H2O"]
+	dH := h2o.HMolar(T0) - h2.HMolar(T0) - 0.5*o2.HMolar(T0)
+	if math.Abs(dH+241826) > 100 {
+		t.Fatalf("water formation enthalpy = %g J/mol, want ≈ -241826", dH)
+	}
+}
+
+func TestAirProperties(t *testing.T) {
+	s, Y := air()
+	W := s.MeanW(Y)
+	if math.Abs(W-0.02885) > 3e-4 {
+		t.Fatalf("air W = %g kg/mol, want ≈ 0.02885", W)
+	}
+	cp := s.CpMass(300, Y)
+	if math.Abs(cp-1005) > 25 {
+		t.Fatalf("air cp(300K) = %g J/kg/K, want ≈ 1005", cp)
+	}
+	gamma := s.Gamma(300, Y)
+	if math.Abs(gamma-1.4) > 0.01 {
+		t.Fatalf("air gamma(300K) = %g, want ≈ 1.40", gamma)
+	}
+	c := s.SoundSpeed(300, Y)
+	if math.Abs(c-347) > 5 {
+		t.Fatalf("air sound speed(300K) = %g m/s, want ≈ 347", c)
+	}
+}
+
+func TestIdealGasLaw(t *testing.T) {
+	s, Y := air()
+	p := 101325.0
+	T := 300.0
+	rho := s.Density(p, T, Y)
+	if math.Abs(rho-1.17) > 0.02 {
+		t.Fatalf("air density = %g, want ≈ 1.17", rho)
+	}
+	if got := s.Pressure(rho, T, Y); math.Abs(got-p) > 1e-6*p {
+		t.Fatalf("pressure round trip = %g, want %g", got, p)
+	}
+}
+
+func TestMoleMassFractionRoundTrip(t *testing.T) {
+	s := MustSet("H2", "O2", "N2", "H2O")
+	prop := func(a, b, c, d uint8) bool {
+		Y := normalize([]float64{float64(a) + 1, float64(b) + 1, float64(c) + 1, float64(d) + 1})
+		X := make([]float64, 4)
+		Y2 := make([]float64, 4)
+		s.MoleFractions(Y, X)
+		s.MassFractions(X, Y2)
+		for i := range Y {
+			if math.Abs(Y[i]-Y2[i]) > 1e-12 {
+				return false
+			}
+		}
+		// Mole fractions sum to one.
+		var sum float64
+		for _, x := range X {
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTFromERoundTrip(t *testing.T) {
+	s := MustSet("CH4", "O2", "N2", "CO2", "H2O")
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		Y := normalize([]float64{
+			rng.Float64(), rng.Float64(), rng.Float64() + 1, rng.Float64(), rng.Float64(),
+		})
+		T := 300 + 2500*rng.Float64()
+		e := s.EMass(T, Y)
+		// Start Newton far from the answer.
+		got, ok := s.TFromE(e, Y, 1000)
+		if !ok {
+			t.Fatalf("TFromE did not converge for T=%g", T)
+		}
+		if math.Abs(got-T) > 1e-6*T {
+			t.Fatalf("TFromE = %g, want %g", got, T)
+		}
+	}
+}
+
+func TestCvLessThanCp(t *testing.T) {
+	s, Y := air()
+	for _, T := range []float64{300, 1000, 3000} {
+		cp, cv := s.CpMass(T, Y), s.CvMass(T, Y)
+		if cv <= 0 || cv >= cp {
+			t.Fatalf("cv=%g cp=%g at T=%g", cv, cp, T)
+		}
+	}
+}
+
+func TestElementMassFractions(t *testing.T) {
+	s := MustSet("CH4", "O2", "N2")
+	Y := []float64{0.055, 0.22, 0.725} // roughly φ=1 methane-air
+	zc := s.ElementMassFraction("C", Y)
+	zh := s.ElementMassFraction("H", Y)
+	zo := s.ElementMassFraction("O", Y)
+	zn := s.ElementMassFraction("N", Y)
+	// C and H come only from CH4: zc = Y_CH4·W_C/W_CH4, zh = Y_CH4·4W_H/W_CH4.
+	wCH4 := database["CH4"].W
+	if math.Abs(zc-0.055*0.0120107/wCH4) > 1e-9 {
+		t.Fatalf("zc = %g", zc)
+	}
+	if math.Abs(zh-0.055*4*0.0010079/wCH4) > 1e-9 {
+		t.Fatalf("zh = %g", zh)
+	}
+	if math.Abs(zo-0.22) > 1e-9 || math.Abs(zn-0.725) > 1e-9 {
+		t.Fatalf("zo = %g, zn = %g", zo, zn)
+	}
+	// Elements sum to unity exactly: species weights are built from the
+	// same element weights.
+	if math.Abs(zc+zh+zo+zn-1) > 1e-12 {
+		t.Fatalf("element sum = %g", zc+zh+zo+zn)
+	}
+}
+
+func TestUnknownSpeciesError(t *testing.T) {
+	if _, err := NewSet("H2", "XYZZY"); err == nil {
+		t.Fatal("expected error for unknown species")
+	}
+}
+
+func TestSetIndex(t *testing.T) {
+	s := MustSet("H2", "O2", "N2")
+	if s.Index("O2") != 1 || s.Index("N2") != 2 || s.Index("AR") != -1 {
+		t.Fatalf("Index lookup broken: %d %d %d", s.Index("O2"), s.Index("N2"), s.Index("AR"))
+	}
+}
+
+func normalize(v []float64) []float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v
+}
+
+func BenchmarkCpMass(b *testing.B) {
+	s := MustSet("H2", "O2", "O", "OH", "H2O", "H", "HO2", "H2O2", "N2")
+	Y := normalize([]float64{1, 2, 0.1, 0.1, 3, 0.05, 0.02, 0.01, 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CpMass(1500, Y)
+	}
+}
+
+func BenchmarkTFromE(b *testing.B) {
+	s := MustSet("H2", "O2", "O", "OH", "H2O", "H", "HO2", "H2O2", "N2")
+	Y := normalize([]float64{1, 2, 0.1, 0.1, 3, 0.05, 0.02, 0.01, 10})
+	e := s.EMass(1500, Y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TFromE(e, Y, 1400)
+	}
+}

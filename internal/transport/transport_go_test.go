@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/s3dgo/s3d/internal/thermo"
+)
+
+func airModel(t testing.TB) (*Model, []float64) {
+	set := thermo.MustSet("O2", "N2")
+	m, err := New(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, []float64{0.233, 0.767}
+}
+
+func TestAirViscosity(t *testing.T) {
+	m, Y := airModel(t)
+	p := &Props{Dmix: make([]float64, 2)}
+	m.Mixture(300, 101325, Y, p)
+	// Air at 300 K: μ ≈ 1.85×10⁻⁵ Pa·s.
+	if math.Abs(p.Mu-1.85e-5)/1.85e-5 > 0.10 {
+		t.Fatalf("air viscosity = %g, want ≈ 1.85e-5", p.Mu)
+	}
+}
+
+func TestAirConductivity(t *testing.T) {
+	m, Y := airModel(t)
+	p := &Props{Dmix: make([]float64, 2)}
+	m.Mixture(300, 101325, Y, p)
+	// Air at 300 K: λ ≈ 0.026 W/(m·K).
+	if math.Abs(p.Lambda-0.026)/0.026 > 0.15 {
+		t.Fatalf("air conductivity = %g, want ≈ 0.026", p.Lambda)
+	}
+}
+
+func TestViscosityGrowsWithT(t *testing.T) {
+	m, Y := airModel(t)
+	p1 := &Props{Dmix: make([]float64, 2)}
+	p2 := &Props{Dmix: make([]float64, 2)}
+	m.Mixture(300, 101325, Y, p1)
+	m.Mixture(1500, 101325, Y, p2)
+	// Gas viscosity scales roughly as T^0.7: expect ×2.5–4 over 300→1500 K.
+	r := p2.Mu / p1.Mu
+	if r < 2.0 || r > 5.0 {
+		t.Fatalf("viscosity ratio 1500/300 K = %g, want 2–5", r)
+	}
+}
+
+func TestBinaryDiffusionKnownValue(t *testing.T) {
+	// D(H2O–air-ish N2) at 300 K, 1 atm ≈ 0.25 cm²/s; D(O2–N2) ≈ 0.20 cm²/s.
+	set := thermo.MustSet("O2", "N2", "H2O", "H2")
+	m := MustNew(set)
+	d := m.BinaryDiffusion(0, 1, 300, 101325) * 1e4 // m²/s → cm²/s
+	if d < 0.12 || d > 0.30 {
+		t.Fatalf("D(O2,N2) = %g cm²/s, want ≈ 0.2", d)
+	}
+	dh2 := m.BinaryDiffusion(3, 1, 300, 101325) * 1e4
+	// H2 in N2 ≈ 0.78 cm²/s, far faster than O2 — the differential-diffusion
+	// property that matters for hydrogen flames.
+	if dh2 < 2*d {
+		t.Fatalf("D(H2,N2) = %g not ≫ D(O2,N2) = %g", dh2, d)
+	}
+}
+
+func TestBinaryDiffusionSymmetric(t *testing.T) {
+	set := thermo.MustSet("H2", "O2", "H2O", "CO2", "N2")
+	m := MustNew(set)
+	for i := 0; i < set.Len(); i++ {
+		for j := 0; j < set.Len(); j++ {
+			dij := m.BinaryDiffusion(i, j, 800, 101325)
+			dji := m.BinaryDiffusion(j, i, 800, 101325)
+			if math.Abs(dij-dji) > 1e-15 {
+				t.Fatalf("D not symmetric: %g vs %g", dij, dji)
+			}
+		}
+	}
+}
+
+func TestDiffusionScalesInverselyWithPressure(t *testing.T) {
+	set := thermo.MustSet("O2", "N2")
+	m := MustNew(set)
+	d1 := m.BinaryDiffusion(0, 1, 500, 101325)
+	d2 := m.BinaryDiffusion(0, 1, 500, 2*101325)
+	if math.Abs(d1/d2-2) > 1e-12 {
+		t.Fatalf("D(p)/D(2p) = %g, want 2", d1/d2)
+	}
+}
+
+func TestWilkePureSpeciesLimit(t *testing.T) {
+	// With Y = pure species the mixture viscosity equals the species value.
+	set := thermo.MustSet("O2", "N2")
+	m := MustNew(set)
+	p := &Props{Dmix: make([]float64, 2)}
+	m.Mixture(600, 101325, []float64{1, 0}, p)
+	want := m.SpeciesViscosity(0, 600)
+	if math.Abs(p.Mu-want)/want > 1e-12 {
+		t.Fatalf("pure-species Wilke = %g, want %g", p.Mu, want)
+	}
+	if math.Abs(p.Lambda-m.SpeciesConductivity(0, 600))/p.Lambda > 1e-12 {
+		t.Fatalf("pure-species conductivity = %g", p.Lambda)
+	}
+	// The pure-species diffusion coefficient falls back to the self value.
+	if p.Dmix[0] <= 0 {
+		t.Fatalf("pure-species Dmix = %g", p.Dmix[0])
+	}
+}
+
+func TestMixturePropertiesPositiveProperty(t *testing.T) {
+	set := thermo.MustSet("H2", "O2", "O", "OH", "H2O", "H", "HO2", "H2O2", "N2")
+	m := MustNew(set)
+	n := set.Len()
+	p := &Props{Dmix: make([]float64, n)}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		Y := make([]float64, n)
+		var s float64
+		for i := range Y {
+			Y[i] = r.Float64()
+			s += Y[i]
+		}
+		for i := range Y {
+			Y[i] /= s
+		}
+		T := 300 + 2400*r.Float64()
+		m.Mixture(T, 101325, Y, p)
+		if !(p.Mu > 0) || !(p.Lambda > 0) {
+			return false
+		}
+		for _, d := range p.Dmix {
+			if !(d > 0) || math.IsNaN(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrandtlNumberReasonable(t *testing.T) {
+	m, Y := airModel(t)
+	p := &Props{Dmix: make([]float64, 2)}
+	m.Mixture(300, 101325, Y, p)
+	cp := m.Set.CpMass(300, Y)
+	pr := p.Mu * cp / p.Lambda
+	if pr < 0.6 || pr > 0.85 {
+		t.Fatalf("air Prandtl number = %g, want ≈ 0.7", pr)
+	}
+}
+
+func TestLewisNumberH2Light(t *testing.T) {
+	// Le_H2 = λ/(ρ·cp·D_H2) in air should be well below 1 (fast-diffusing
+	// fuel), Le_O2 near 1 — the physics behind the lifted-flame lean-ignition
+	// finding in paper §6.
+	set := thermo.MustSet("H2", "O2", "N2")
+	m := MustNew(set)
+	Y := []float64{0.01, 0.23, 0.76}
+	p := &Props{Dmix: make([]float64, 3)}
+	T := 800.0
+	m.Mixture(T, 101325, Y, p)
+	rho := set.Density(101325, T, Y)
+	cp := set.CpMass(T, Y)
+	leH2 := p.Lambda / (rho * cp * p.Dmix[0])
+	leO2 := p.Lambda / (rho * cp * p.Dmix[1])
+	if leH2 > 0.6 {
+		t.Fatalf("Le_H2 = %g, want < 0.6", leH2)
+	}
+	if leO2 < 0.7 || leO2 > 1.6 {
+		t.Fatalf("Le_O2 = %g, want ≈ 1", leO2)
+	}
+}
+
+func TestMissingLJDataError(t *testing.T) {
+	// All database species have LJ data, so fabricate a set check by using
+	// the full H2 set (should succeed).
+	set := thermo.MustSet("H2", "O2", "O", "OH", "H2O", "H", "HO2", "H2O2", "N2")
+	if _, err := New(set); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCloneIndependentScratch(t *testing.T) {
+	m, Y := airModel(t)
+	c := m.Clone()
+	p1 := &Props{Dmix: make([]float64, 2)}
+	p2 := &Props{Dmix: make([]float64, 2)}
+	m.Mixture(300, 101325, Y, p1)
+	c.Mixture(300, 101325, Y, p2)
+	if p1.Mu != p2.Mu || p1.Lambda != p2.Lambda {
+		t.Fatalf("clone disagrees: %g vs %g", p1.Mu, p2.Mu)
+	}
+	if &m.x[0] == &c.x[0] {
+		t.Fatal("clone shares scratch")
+	}
+}
+
+func BenchmarkMixtureH2Air(b *testing.B) {
+	set := thermo.MustSet("H2", "O2", "O", "OH", "H2O", "H", "HO2", "H2O2", "N2")
+	m := MustNew(set)
+	Y := []float64{0.02, 0.2, 0.001, 0.002, 0.05, 0.0005, 0.0002, 0.0001, 0.7262}
+	p := &Props{Dmix: make([]float64, set.Len())}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mixture(1200, 101325, Y, p)
+	}
+}

@@ -1,0 +1,197 @@
+package turb
+
+import (
+	"math"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/grid"
+)
+
+func sampleField(f *Field, n int, l float64) (u, v, w *grid.Field3, h float64) {
+	g := grid.New(grid.Spec{Nx: n, Ny: n, Nz: n, Lx: l, Ly: l, Lz: l})
+	u, v, w = grid.NewField3(g), grid.NewField3(g), grid.NewField3(g)
+	h = l / float64(n-1)
+	fill := func(dst *grid.Field3, comp int) {
+		dst.Map(func(i, j, k int, _ float64) float64 {
+			uu, vv, ww := f.At(g.Xc[i], g.Yc[j], g.Zc[k])
+			switch comp {
+			case 0:
+				return uu
+			case 1:
+				return vv
+			default:
+				return ww
+			}
+		})
+	}
+	fill(u, 0)
+	fill(v, 1)
+	fill(w, 2)
+	return u, v, w, h
+}
+
+func TestFieldRMSMatchesSpec(t *testing.T) {
+	// Sample over a box much larger than L0 so the energetic modes are
+	// statistically represented.
+	sp := Spectrum{Urms: 2.0, L0: 0.02}
+	f := NewField(sp, 200, 1)
+	var sum float64
+	n := 0.0
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			for k := 0; k < 32; k++ {
+				u, v, w := f.At(float64(i)*0.006, float64(j)*0.006, float64(k)*0.006)
+				sum += u*u + v*v + w*w
+				n++
+			}
+		}
+	}
+	rms := math.Sqrt(sum / n / 3)
+	if math.Abs(rms-2.0)/2.0 > 0.15 {
+		t.Fatalf("component RMS = %g, want ≈ 2.0", rms)
+	}
+}
+
+func TestFieldNearlyDivergenceFree(t *testing.T) {
+	sp := Spectrum{Urms: 1.0, L0: 0.02}
+	f := NewField(sp, 150, 2)
+	// Analytic divergence of the mode sum is exactly zero; check by finite
+	// differences at a few points with small h.
+	h := 1e-6
+	for _, pt := range [][3]float64{{0.001, 0.002, 0.003}, {0.01, 0.015, 0.02}, {0.03, 0.01, 0.005}} {
+		ux1, _, _ := f.At(pt[0]+h, pt[1], pt[2])
+		ux0, _, _ := f.At(pt[0]-h, pt[1], pt[2])
+		_, vy1, _ := f.At(pt[0], pt[1]+h, pt[2])
+		_, vy0, _ := f.At(pt[0], pt[1]-h, pt[2])
+		_, _, wz1 := f.At(pt[0], pt[1], pt[2]+h)
+		_, _, wz0 := f.At(pt[0], pt[1], pt[2]-h)
+		div := (ux1 - ux0 + vy1 - vy0 + wz1 - wz0) / (2 * h)
+		// Scale by a typical gradient magnitude u'/L0.
+		if math.Abs(div) > 0.05*(1.0/0.02) {
+			t.Fatalf("divergence %g at %v", div, pt)
+		}
+	}
+}
+
+func TestFieldZeroMean(t *testing.T) {
+	f := NewField(Spectrum{Urms: 1.5, L0: 0.01}, 100, 3)
+	u, v, w, _ := sampleField(f, 20, 0.05)
+	n := float64(20 * 20 * 20)
+	for i, c := range []*grid.Field3{u, v, w} {
+		if m := c.SumInterior() / n; math.Abs(m) > 0.3 {
+			t.Fatalf("component %d mean = %g, want ≈ 0", i, m)
+		}
+	}
+}
+
+func TestSweepConsistentWithAt(t *testing.T) {
+	f := NewField(Spectrum{Urms: 1, L0: 0.02}, 50, 4)
+	u1, v1, w1 := f.Sweep(0.003, 0.004, 2e-4, 100)
+	u2, v2, w2 := f.At(-100*2e-4, 0.003, 0.004)
+	if u1 != u2 || v1 != v2 || w1 != w2 {
+		t.Fatal("Sweep disagrees with At")
+	}
+}
+
+func TestSeedsReproducible(t *testing.T) {
+	a := NewField(Spectrum{Urms: 1, L0: 0.02}, 60, 9)
+	b := NewField(Spectrum{Urms: 1, L0: 0.02}, 60, 9)
+	ua, _, _ := a.At(0.01, 0.02, 0.03)
+	ub, _, _ := b.At(0.01, 0.02, 0.03)
+	if ua != ub {
+		t.Fatal("same seed produced different fields")
+	}
+	c := NewField(Spectrum{Urms: 1, L0: 0.02}, 60, 10)
+	uc, _, _ := c.At(0.01, 0.02, 0.03)
+	if ua == uc {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestMeasureStatisticsScaleSensibly(t *testing.T) {
+	sp := Spectrum{Urms: 3.0, L0: 0.01}
+	f := NewField(sp, 200, 5)
+	u, v, w, h := sampleField(f, 32, 0.04)
+	nu := 1.5e-5
+	st := Measure(u, v, w, h, h, h, nu)
+	if math.Abs(st.Urms-3.0)/3.0 > 0.3 {
+		t.Fatalf("measured u' = %g, want ≈ 3", st.Urms)
+	}
+	if st.Diss <= 0 || st.Lt <= 0 || st.EtaK <= 0 {
+		t.Fatalf("non-positive scales: ε=%g lt=%g η=%g", st.Diss, st.Lt, st.EtaK)
+	}
+	// Integral scale should be within a factor of a few of L0.
+	if st.L33 < 0.1*sp.L0 || st.L33 > 10*sp.L0 {
+		t.Fatalf("l33 = %g, L0 = %g", st.L33, sp.L0)
+	}
+	if st.ReT <= 0 {
+		t.Fatalf("ReT = %g", st.ReT)
+	}
+	// Kolmogorov scale below the energetic scale.
+	if st.EtaK >= sp.L0 {
+		t.Fatalf("η = %g not below L0 = %g", st.EtaK, sp.L0)
+	}
+}
+
+func TestKarlovitzDamkohler(t *testing.T) {
+	if ka := Karlovitz(3e-4, 3e-5); math.Abs(ka-100) > 1e-9 {
+		t.Fatalf("Ka = %g, want 100", ka)
+	}
+	if da := Damkohler(1.8, 2.1e-4, 5.4, 3e-4); math.Abs(da-0.2333) > 0.01 {
+		t.Fatalf("Da = %g, want ≈ 0.233", da)
+	}
+}
+
+func TestHigherUrmsMoreDissipation(t *testing.T) {
+	f1 := NewField(Spectrum{Urms: 1, L0: 0.01}, 150, 6)
+	f2 := NewField(Spectrum{Urms: 4, L0: 0.01}, 150, 6)
+	u1, v1, w1, h := sampleField(f1, 24, 0.03)
+	u2, v2, w2, _ := sampleField(f2, 24, 0.03)
+	s1 := Measure(u1, v1, w1, h, h, h, 1.5e-5)
+	s2 := Measure(u2, v2, w2, h, h, h, 1.5e-5)
+	if s2.Diss <= s1.Diss {
+		t.Fatalf("dissipation not increasing with u': %g vs %g", s1.Diss, s2.Diss)
+	}
+}
+
+func TestSweepTimeCorrelation(t *testing.T) {
+	// Taylor-swept inflow turbulence must decorrelate over a time of order
+	// L0/U0 and stay continuous in t.
+	f := NewField(Spectrum{Urms: 1, L0: 0.01}, 150, 12)
+	u0 := 50.0
+	var same, short, long float64
+	n := 0.0
+	for i := 0; i < 200; i++ {
+		y := float64(i%20) * 0.001
+		z := float64(i/20) * 0.001
+		a, _, _ := f.Sweep(y, z, 0, u0)
+		b, _, _ := f.Sweep(y, z, 1e-6, u0)        // u0·dt = 5e-5 ≪ L0
+		c, _, _ := f.Sweep(y, z, 100*0.01/u0, u0) // many integral times
+		same += a * a
+		short += a * b
+		long += a * c
+		n++
+	}
+	rShort := short / same
+	rLong := long / same
+	if rShort < 0.95 {
+		t.Fatalf("short-lag correlation = %g, want ≈ 1", rShort)
+	}
+	if math.Abs(rLong) > 0.3 {
+		t.Fatalf("long-lag correlation = %g, want ≈ 0", rLong)
+	}
+}
+
+func TestMeasureDegenerateZ(t *testing.T) {
+	// Quasi-2D fields (nz tiny) must not panic and must report l33 = 0.
+	g := grid.New(grid.Spec{Nx: 16, Ny: 16, Nz: 2, Lx: 0.01, Ly: 0.01, Lz: 0.01})
+	u, v, w := grid.NewField3(g), grid.NewField3(g), grid.NewField3(g)
+	u.Map(func(i, j, k int, _ float64) float64 { return math.Sin(float64(i)) })
+	st := Measure(u, v, w, 1e-3, 1e-3, 1e-3, 1.5e-5)
+	if st.L33 != 0 {
+		t.Fatalf("l33 = %g for nz=2, want 0", st.L33)
+	}
+	if math.IsNaN(st.Urms) {
+		t.Fatal("NaN urms")
+	}
+}

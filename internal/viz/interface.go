@@ -1,0 +1,198 @@
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+)
+
+// The trispace visualization interface of §8.2 (figure 15): a parallel-
+// coordinates view over selected variables, and a time-histogram view of a
+// variable's temporal evolution.
+
+// ParallelCoords renders samples[i][v] (one polyline per sample across the
+// variable axes) with per-variable normalisation, highlighting brushed
+// samples. It is the multivariate selection view of figure 15.
+type ParallelCoords struct {
+	VarNames []string
+	Samples  [][]float64
+	// Brush marks samples to highlight (nil highlights none).
+	Brush         func(sample []float64) bool
+	Width, Height int
+}
+
+// Render draws the plot.
+func (p *ParallelCoords) Render() (*image.RGBA, error) {
+	nv := len(p.VarNames)
+	if nv < 2 {
+		return nil, fmt.Errorf("viz: parallel coordinates needs ≥ 2 variables")
+	}
+	for _, s := range p.Samples {
+		if len(s) != nv {
+			return nil, fmt.Errorf("viz: sample arity %d != %d variables", len(s), nv)
+		}
+	}
+	w, h := p.Width, p.Height
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 400
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	fill(img, color.RGBA{20, 20, 28, 255})
+
+	// Per-variable ranges.
+	lo := make([]float64, nv)
+	hi := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		lo[v], hi[v] = math.Inf(1), math.Inf(-1)
+		for _, s := range p.Samples {
+			lo[v] = math.Min(lo[v], s[v])
+			hi[v] = math.Max(hi[v], s[v])
+		}
+		if !(hi[v] > lo[v]) {
+			hi[v] = lo[v] + 1
+		}
+	}
+	margin := 20
+	axisX := func(v int) int { return margin + v*(w-2*margin)/(nv-1) }
+	yOf := func(v int, val float64) int {
+		f := (val - lo[v]) / (hi[v] - lo[v])
+		return h - margin - int(f*float64(h-2*margin))
+	}
+	// Axes.
+	for v := 0; v < nv; v++ {
+		drawLine(img, axisX(v), margin, axisX(v), h-margin, color.RGBA{120, 120, 130, 255})
+	}
+	// Polylines: dim for all, bright for brushed.
+	for _, s := range p.Samples {
+		c := color.RGBA{70, 90, 140, 255}
+		if p.Brush != nil && p.Brush(s) {
+			c = color.RGBA{255, 210, 60, 255}
+		}
+		for v := 0; v < nv-1; v++ {
+			drawLine(img, axisX(v), yOf(v, s[v]), axisX(v+1), yOf(v+1, s[v+1]), c)
+		}
+	}
+	return img, nil
+}
+
+// TimeHistogram renders the per-timestep histograms of a variable as a 2-D
+// intensity map (x: timestep, y: value bin) — the temporal view of §8.2
+// that "displays each variable's temporal characteristic and helps users
+// identify time steps of interest".
+type TimeHistogram struct {
+	// Hist[t][b] holds the (normalised or raw) count of bin b at step t.
+	Hist          [][]float64
+	Width, Height int
+}
+
+// Render draws the map with a log intensity scale.
+func (th *TimeHistogram) Render() (*image.RGBA, error) {
+	nt := len(th.Hist)
+	if nt == 0 {
+		return nil, fmt.Errorf("viz: empty time histogram")
+	}
+	nb := len(th.Hist[0])
+	w, h := th.Width, th.Height
+	if w == 0 {
+		w = 512
+	}
+	if h == 0 {
+		h = 256
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	var max float64
+	for _, row := range th.Hist {
+		for _, v := range row {
+			max = math.Max(max, v)
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for px := 0; px < w; px++ {
+		t := px * nt / w
+		for py := 0; py < h; py++ {
+			b := py * nb / h
+			v := th.Hist[t][b]
+			f := math.Log1p(v) / math.Log1p(max)
+			img.SetRGBA(px, h-1-py, heat(f))
+		}
+	}
+	return img, nil
+}
+
+func heat(f float64) color.RGBA {
+	f = clamp01(f)
+	return color.RGBA{
+		R: uint8(255 * clamp01(2*f)),
+		G: uint8(255 * clamp01(2*f-0.6)),
+		B: uint8(255 * clamp01(4*f-3)),
+		A: 255,
+	}
+}
+
+func fill(img *image.RGBA, c color.RGBA) {
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+}
+
+// drawLine is a Bresenham rasteriser with additive blending for polyline
+// density.
+func drawLine(img *image.RGBA, x0, y0, x1, y1 int, c color.RGBA) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		blend(img, x0, y0, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func blend(img *image.RGBA, x, y int, c color.RGBA) {
+	if !(image.Point{x, y}).In(img.Bounds()) {
+		return
+	}
+	old := img.RGBAAt(x, y)
+	mix := func(a, b uint8) uint8 {
+		v := int(a)/3 + int(b)
+		if v > 255 {
+			v = 255
+		}
+		return uint8(v)
+	}
+	img.SetRGBA(x, y, color.RGBA{mix(old.R, c.R), mix(old.G, c.G), mix(old.B, c.B), 255})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,100 @@
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+)
+
+// LinePlot renders simple XY time traces — the gnuplot-generated min/max
+// plots of the paper's dashboard (§9, figure 17: "we also run gnuplot at
+// every instance, so that we can generate an XY plot of the min and max of
+// each variable").
+type LinePlot struct {
+	Title         string
+	X             []float64
+	Series        map[string][]float64
+	Width, Height int
+}
+
+// seriesColors cycles for successive series (sorted by name).
+var seriesColors = []color.RGBA{
+	{230, 80, 60, 255},
+	{70, 140, 230, 255},
+	{90, 200, 120, 255},
+	{240, 200, 70, 255},
+	{190, 110, 220, 255},
+}
+
+// Render draws the plot.
+func (lp *LinePlot) Render() (*image.RGBA, error) {
+	if len(lp.X) < 2 {
+		return nil, fmt.Errorf("viz: line plot needs ≥ 2 points")
+	}
+	for name, s := range lp.Series {
+		if len(s) != len(lp.X) {
+			return nil, fmt.Errorf("viz: series %q length %d != %d", name, len(s), len(lp.X))
+		}
+	}
+	w, h := lp.Width, lp.Height
+	if w == 0 {
+		w = 480
+	}
+	if h == 0 {
+		h = 300
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	fill(img, color.RGBA{250, 250, 248, 255})
+
+	xLo, xHi := lp.X[0], lp.X[0]
+	for _, x := range lp.X {
+		xLo = math.Min(xLo, x)
+		xHi = math.Max(xHi, x)
+	}
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range lp.Series {
+		for _, v := range s {
+			yLo = math.Min(yLo, v)
+			yHi = math.Max(yHi, v)
+		}
+	}
+	if !(yHi > yLo) {
+		yHi = yLo + 1
+	}
+	if !(xHi > xLo) {
+		xHi = xLo + 1
+	}
+	const margin = 24
+	px := func(x float64) int {
+		return margin + int((x-xLo)/(xHi-xLo)*float64(w-2*margin))
+	}
+	py := func(y float64) int {
+		return h - margin - int((y-yLo)/(yHi-yLo)*float64(h-2*margin))
+	}
+	axis := color.RGBA{60, 60, 60, 255}
+	drawLine(img, margin, h-margin, w-margin, h-margin, axis)
+	drawLine(img, margin, margin, margin, h-margin, axis)
+
+	names := make([]string, 0, len(lp.Series))
+	for name := range lp.Series {
+		names = append(names, name)
+	}
+	sortStringsInPlace(names)
+	for si, name := range names {
+		s := lp.Series[name]
+		c := seriesColors[si%len(seriesColors)]
+		for i := 1; i < len(s); i++ {
+			drawLine(img, px(lp.X[i-1]), py(s[i-1]), px(lp.X[i]), py(s[i]), c)
+		}
+	}
+	return img, nil
+}
+
+func sortStringsInPlace(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

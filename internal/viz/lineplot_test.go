@@ -1,0 +1,53 @@
+package viz
+
+import (
+	"image/color"
+	"testing"
+)
+
+func TestLinePlotRenders(t *testing.T) {
+	lp := &LinePlot{
+		Title: "T",
+		X:     []float64{0, 1, 2, 3},
+		Series: map[string][]float64{
+			"min": {300, 300, 301, 300},
+			"max": {2000, 2100, 2200, 2300},
+		},
+		Width: 200, Height: 120,
+	}
+	img, err := lp.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some series pixels present (non-background colours).
+	bg := color.RGBA{250, 250, 248, 255}
+	nonBg := 0
+	for y := 0; y < 120; y++ {
+		for x := 0; x < 200; x++ {
+			if img.RGBAAt(x, y) != bg {
+				nonBg++
+			}
+		}
+	}
+	if nonBg < 100 {
+		t.Fatalf("plot nearly empty: %d non-background pixels", nonBg)
+	}
+}
+
+func TestLinePlotErrors(t *testing.T) {
+	if _, err := (&LinePlot{X: []float64{1}}).Render(); err == nil {
+		t.Fatal("expected short-X error")
+	}
+	lp := &LinePlot{X: []float64{1, 2}, Series: map[string][]float64{"a": {1}}}
+	if _, err := lp.Render(); err == nil {
+		t.Fatal("expected ragged-series error")
+	}
+}
+
+func TestLinePlotFlatSeries(t *testing.T) {
+	// Degenerate y-range must not divide by zero.
+	lp := &LinePlot{X: []float64{0, 1, 2}, Series: map[string][]float64{"c": {5, 5, 5}}}
+	if _, err := lp.Render(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package viz
+
+import (
+	"bytes"
+	"image/color"
+	"image/png"
+	"math"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/grid"
+)
+
+func blobField(nx, ny, nz int, cx, cy, cz, r float64) *grid.Field3 {
+	g := grid.New(grid.Spec{Nx: nx, Ny: ny, Nz: nz, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	f.Map(func(i, j, k int, _ float64) float64 {
+		dx, dy, dz := float64(i)-cx, float64(j)-cy, float64(k)-cz
+		return math.Exp(-(dx*dx + dy*dy + dz*dz) / (r * r))
+	})
+	return f
+}
+
+func TestTransferFuncInterpolation(t *testing.T) {
+	tf := &TransferFunc{Points: []ControlPoint{
+		{0, RGBA{0, 0, 0, 0}},
+		{1, RGBA{1, 0, 0, 1}},
+	}}
+	mid := tf.Lookup(0.5)
+	if math.Abs(mid.R-0.5) > 1e-12 || math.Abs(mid.A-0.5) > 1e-12 {
+		t.Fatalf("midpoint = %+v", mid)
+	}
+	if tf.Lookup(-1).A != 0 || tf.Lookup(2).A != 1 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestIsoTFPeaksAtIso(t *testing.T) {
+	tf := IsoTF(0.6, 0.05, RGBA{1, 0.8, 0, 0.9})
+	if got := tf.Lookup(0.6).A; math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("opacity at iso = %g", got)
+	}
+	if tf.Lookup(0.4).A != 0 || tf.Lookup(0.8).A != 0 {
+		t.Fatal("iso band leaks")
+	}
+}
+
+func TestRenderBlobVisible(t *testing.T) {
+	f := blobField(24, 24, 24, 12, 12, 12, 5)
+	r := &Renderer{
+		Layers: []Layer{{Field: f, TF: HotTF(0.8), Min: 0, Max: 1}},
+		Width:  64, Height: 64,
+	}
+	img := r.Render()
+	// Centre pixel bright, corner dark.
+	c := img.RGBAAt(32, 32)
+	corner := img.RGBAAt(2, 2)
+	if int(c.R)+int(c.G)+int(c.B) <= int(corner.R)+int(corner.G)+int(corner.B) {
+		t.Fatalf("blob not visible: centre %v corner %v", c, corner)
+	}
+}
+
+func TestRenderEmptyVolumeIsBackground(t *testing.T) {
+	g := grid.New(grid.Spec{Nx: 8, Ny: 8, Nz: 8, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	r := &Renderer{
+		Layers: []Layer{{Field: f, TF: HotTF(1), Min: 0, Max: 1}},
+		Width:  16, Height: 16,
+		Background: RGBA{0.1, 0.2, 0.3, 1},
+	}
+	img := r.Render()
+	c := img.RGBAAt(8, 8)
+	if math.Abs(float64(c.R)-25.5) > 3 || math.Abs(float64(c.B)-76.5) > 3 {
+		t.Fatalf("background wrong: %v", c)
+	}
+}
+
+func TestMultivariateFusionShowsBothLayers(t *testing.T) {
+	// Two displaced blobs with distinct transfer functions; both colours
+	// must appear (the OH+HO2 panel of figure 14).
+	a := blobField(32, 32, 32, 10, 16, 16, 4)
+	b := blobField(32, 32, 32, 22, 16, 16, 4)
+	r := &Renderer{
+		Layers: []Layer{
+			{Field: a, TF: HotTF(0.9), Min: 0, Max: 1},
+			{Field: b, TF: CoolTF(0.9), Min: 0, Max: 1},
+		},
+		Width: 96, Height: 96,
+		Cam: Camera{Azimuth: math.Pi / 2, Elevation: 0}, // look along +y
+	}
+	img := r.Render()
+	var redScore, blueScore int
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			c := img.RGBAAt(x, y)
+			if int(c.R) > int(c.B)+40 {
+				redScore++
+			}
+			if int(c.B) > int(c.R)+40 {
+				blueScore++
+			}
+		}
+	}
+	if redScore < 20 || blueScore < 20 {
+		t.Fatalf("fusion missing a layer: red=%d blue=%d", redScore, blueScore)
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	f := blobField(8, 8, 8, 4, 4, 4, 2)
+	r := &Renderer{Layers: []Layer{{Field: f, TF: HotTF(1), Min: 0, Max: 1}}, Width: 32, Height: 32}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, r.Render()); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 32 {
+		t.Fatalf("bad decoded size %v", decoded.Bounds())
+	}
+}
+
+func TestParallelCoordsBrushHighlights(t *testing.T) {
+	p := &ParallelCoords{
+		VarNames: []string{"chi", "OH", "mixfrac"},
+		Samples: [][]float64{
+			{0.1, 0.9, 0.3},
+			{0.9, 0.1, 0.7},
+			{0.5, 0.5, 0.5},
+		},
+		Brush: func(s []float64) bool { return s[0] > 0.8 },
+		Width: 200, Height: 120,
+	}
+	img, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The brushed polyline uses the highlight colour: scan for a yellowish
+	// pixel.
+	found := false
+	for y := 0; y < 120 && !found; y++ {
+		for x := 0; x < 200; x++ {
+			c := img.RGBAAt(x, y)
+			if c.R > 150 && c.G > 120 && c.B < 110 {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no highlighted polyline rendered")
+	}
+}
+
+func TestParallelCoordsErrors(t *testing.T) {
+	if _, err := (&ParallelCoords{VarNames: []string{"one"}}).Render(); err == nil {
+		t.Fatal("expected arity error")
+	}
+	p := &ParallelCoords{VarNames: []string{"a", "b"}, Samples: [][]float64{{1, 2, 3}}}
+	if _, err := p.Render(); err == nil {
+		t.Fatal("expected sample arity error")
+	}
+}
+
+func TestTimeHistogramRender(t *testing.T) {
+	hist := make([][]float64, 20)
+	for t0 := range hist {
+		hist[t0] = make([]float64, 16)
+		hist[t0][t0%16] = 100 // a moving ridge
+	}
+	th := &TimeHistogram{Hist: hist, Width: 80, Height: 64}
+	img, err := th.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ridge pixels should be hot; background black.
+	var hot int
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 80; x++ {
+			if c := img.RGBAAt(x, y); c.R > 200 {
+				hot++
+			}
+		}
+	}
+	if hot == 0 {
+		t.Fatal("ridge invisible")
+	}
+	if _, err := (&TimeHistogram{}).Render(); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestHeatColormapMonotone(t *testing.T) {
+	prev := -1
+	for f := 0.0; f <= 1.0; f += 0.05 {
+		c := heat(f)
+		lum := int(c.R) + int(c.G) + int(c.B)
+		if lum < prev {
+			t.Fatalf("heat colormap not monotone at %g", f)
+		}
+		prev = lum
+	}
+	_ = color.RGBA{}
+}
+
+func BenchmarkRender64(b *testing.B) {
+	f := blobField(32, 32, 32, 16, 16, 16, 6)
+	r := &Renderer{Layers: []Layer{{Field: f, TF: HotTF(0.8), Min: 0, Max: 1}}, Width: 64, Height: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Render()
+	}
+}
+
+func TestRenderQuasi2DFieldVisible(t *testing.T) {
+	// nz = 1 planes (the scaled-down jet runs) must render: the volume is
+	// extruded along degenerate axes.
+	g := grid.New(grid.Spec{Nx: 32, Ny: 24, Nz: 1, Lx: 1, Ly: 1, Lz: 1})
+	f := grid.NewField3(g)
+	f.Map(func(i, j, k int, _ float64) float64 {
+		dx, dy := float64(i)-16, float64(j)-12
+		return math.Exp(-(dx*dx + dy*dy) / 30)
+	})
+	r := &Renderer{
+		Layers: []Layer{{Field: f, TF: HotTF(0.9), Min: 0, Max: 1}},
+		Cam:    Camera{Elevation: math.Pi / 2},
+		Width:  64, Height: 48,
+	}
+	img := r.Render()
+	var lit int
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			c := img.RGBAAt(x, y)
+			if int(c.R)+int(c.G)+int(c.B) > 60 {
+				lit++
+			}
+		}
+	}
+	if lit < 20 {
+		t.Fatalf("quasi-2D render blank: %d lit pixels", lit)
+	}
+}

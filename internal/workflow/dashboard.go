@@ -1,0 +1,175 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/s3dgo/s3d/internal/viz"
+)
+
+// The web dashboard of paper §9 (figures 17–18): interactive monitoring of
+// simulation min/max time traces, and a jobs view across machines. The
+// browser/AJAX/MySQL stack is replaced by static artefacts — per-variable
+// PNG trace plots (the gnuplot step) and a JSON status document — produced
+// from the same pipeline outputs.
+
+// Job is one entry of the figure-18 jobs view.
+type Job struct {
+	ID      string `json:"id"`
+	Machine string `json:"machine"`
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Cores   int    `json:"cores"`
+}
+
+// DashboardStatus is the JSON document backing the dashboard page.
+type DashboardStatus struct {
+	Jobs      []Job             `json:"jobs"`
+	Variables []string          `json:"variables"`
+	Images    map[string]string `json:"images"` // variable → plot path
+	Notes     map[string]string `json:"notes"`  // user annotations (§9)
+}
+
+// minmaxRow is one parsed dashboard table row: step, variable, min, max.
+type minmaxRow struct {
+	step     float64
+	variable string
+	lo, hi   float64
+}
+
+// parseMinMaxCSV reads the table PlotMinMax appends to.
+func parseMinMaxCSV(path string) ([]minmaxRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []minmaxRow
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("workflow: %s:%d: want 4 fields, got %d", path, lineNo+1, len(parts))
+		}
+		step, err1 := strconv.ParseFloat(parts[0], 64)
+		lo, err2 := strconv.ParseFloat(parts[2], 64)
+		hi, err3 := strconv.ParseFloat(parts[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("workflow: %s:%d: bad numbers", path, lineNo+1)
+		}
+		rows = append(rows, minmaxRow{step, parts[1], lo, hi})
+	}
+	return rows, nil
+}
+
+// BuildDashboard renders the figure-17 min/max trace plots (one PNG per
+// variable, min and max series) and writes the figure-18 status JSON.
+// It returns the status document.
+func BuildDashboard(c *Cluster, jobs []Job) (*DashboardStatus, error) {
+	rows, err := parseMinMaxCSV(filepath.Join(c.Dashboard, "minmax.csv"))
+	if err != nil {
+		return nil, err
+	}
+	byVar := map[string][]minmaxRow{}
+	for _, r := range rows {
+		byVar[r.variable] = append(byVar[r.variable], r)
+	}
+	status := &DashboardStatus{
+		Jobs:   jobs,
+		Images: map[string]string{},
+		Notes:  map[string]string{},
+	}
+	for name := range byVar {
+		status.Variables = append(status.Variables, name)
+	}
+	sort.Strings(status.Variables)
+
+	for _, name := range status.Variables {
+		vr := byVar[name]
+		sort.Slice(vr, func(i, j int) bool { return vr[i].step < vr[j].step })
+		x := make([]float64, len(vr))
+		lo := make([]float64, len(vr))
+		hi := make([]float64, len(vr))
+		for i, r := range vr {
+			x[i], lo[i], hi[i] = r.step, r.lo, r.hi
+		}
+		if len(x) < 2 {
+			continue // a single checkpoint cannot plot a trace yet
+		}
+		lp := &viz.LinePlot{
+			Title: name,
+			X:     x,
+			Series: map[string][]float64{
+				"min": lo,
+				"max": hi,
+			},
+		}
+		img, err := lp.Render()
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(c.Dashboard, "trace_"+sanitize(name)+".png")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := viz.WritePNG(f, img); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		status.Images[name] = path
+	}
+
+	out, err := json.MarshalIndent(status, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(c.Dashboard, "status.json"), out, 0o644); err != nil {
+		return nil, err
+	}
+	return status, nil
+}
+
+// Annotate records a user note against a dashboard image ("we are allowing
+// the users to annotate each image", §9), merged into status.json.
+func Annotate(c *Cluster, variable, note string) error {
+	path := filepath.Join(c.Dashboard, "status.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var status DashboardStatus
+	if err := json.Unmarshal(data, &status); err != nil {
+		return err
+	}
+	if status.Notes == nil {
+		status.Notes = map[string]string{}
+	}
+	status.Notes[variable] = note
+	out, err := json.MarshalIndent(&status, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,113 @@
+package workflow
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func seedMinMax(t *testing.T, c *Cluster) {
+	t.Helper()
+	rows := "1,T,300,2000\n2,T,300,2100\n3,T,301,2150\n1,Y_OH,0,0.001\n2,Y_OH,0,0.002\n3,Y_OH,0,0.004\n"
+	if err := os.WriteFile(filepath.Join(c.Dashboard, "minmax.csv"), []byte(rows), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDashboard(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	jobs := []Job{
+		{ID: "123", Machine: "jaguar", Name: "s3d-lifted", State: "R", Cores: 10000},
+		{ID: "77", Machine: "ewok", Name: "morph", State: "Q", Cores: 16},
+	}
+	status, err := BuildDashboard(c, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Variables) != 2 || status.Variables[0] != "T" || status.Variables[1] != "Y_OH" {
+		t.Fatalf("variables = %v", status.Variables)
+	}
+	for _, v := range status.Variables {
+		img := status.Images[v]
+		if img == "" {
+			t.Fatalf("no image for %s", v)
+		}
+		if _, err := os.Stat(img); err != nil {
+			t.Fatalf("image missing: %v", err)
+		}
+	}
+	// status.json round-trips.
+	data, err := os.ReadFile(filepath.Join(c.Dashboard, "status.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DashboardStatus
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 2 || got.Jobs[0].Machine != "jaguar" {
+		t.Fatalf("jobs lost: %+v", got.Jobs)
+	}
+}
+
+func TestDashboardAnnotation(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	if _, err := BuildDashboard(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Annotate(c, "T", "ignition transient visible at step 2"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(filepath.Join(c.Dashboard, "status.json"))
+	var got DashboardStatus
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Notes["T"] == "" {
+		t.Fatal("annotation lost")
+	}
+}
+
+func TestParseMinMaxCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("1,T,300\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseMinMaxCSV(bad); err == nil {
+		t.Fatal("expected field-count error")
+	}
+	if err := os.WriteFile(bad, []byte("x,T,1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseMinMaxCSV(bad); err == nil {
+		t.Fatal("expected number error")
+	}
+}
+
+func TestDashboardSingleSampleSkipsPlot(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dashboard, "minmax.csv"),
+		[]byte("1,T,300,2000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, err := BuildDashboard(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := status.Images["T"]; ok {
+		t.Fatal("single-point trace should not plot")
+	}
+}
