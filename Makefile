@@ -1,0 +1,13 @@
+# Common entry points; see README.md for the per-figure tools.
+
+.PHONY: check test bench
+
+# The full pre-merge gate: build, vet, race-enabled tests.
+check:
+	./check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...

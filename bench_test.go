@@ -21,15 +21,18 @@ package s3d
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/deriv"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/pario"
 	"github.com/s3dgo/s3d/internal/perf"
 	"github.com/s3dgo/s3d/internal/sdf"
@@ -385,6 +388,68 @@ func BenchmarkFig16Workflow(b *testing.B) {
 		b.StartTimer()
 		if err := wf.Run(context.Background()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Observability overhead ---
+
+// BenchmarkObsOverhead measures the cost of full step telemetry (trace
+// writer attached, every per-step monitor live) against an uninstrumented
+// run of the same problem, and fails if the overhead exceeds the 2% budget
+// the observability layer is designed to. Min-of-trials on both sides keeps
+// scheduler noise out of the comparison.
+func BenchmarkObsOverhead(b *testing.B) {
+	const warm, measure, trials = 2, 8, 4
+	newSim := func() *Simulation {
+		p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := p.NewSimulation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim
+	}
+	for i := 0; i < b.N; i++ {
+		off, on := math.Inf(1), math.Inf(1)
+		for t := 0; t < trials; t++ {
+			sim := newSim()
+			dt := 0.4 * sim.StableDt()
+			sim.Advance(warm, dt)
+			start := time.Now()
+			sim.Advance(measure, dt)
+			if w := time.Since(start).Seconds(); w < off {
+				off = w
+			}
+
+			sim = newSim()
+			dt = 0.4 * sim.StableDt()
+			probe, err := sim.StartTelemetry(TelemetryOptions{
+				Case:  "bench",
+				Trace: obs.NewTrace(io.Discard),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			probe.Advance(warm, dt)
+			start = time.Now()
+			probe.Advance(measure, dt)
+			if w := time.Since(start).Seconds(); w < on {
+				on = w
+			}
+			if err := probe.Close("bench done"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		overhead := (on - off) / off * 100
+		b.ReportMetric(off/measure*1e3, "off_ms/step")
+		b.ReportMetric(on/measure*1e3, "on_ms/step")
+		b.ReportMetric(overhead, "overhead_%")
+		if overhead > 2.0 {
+			b.Errorf("telemetry overhead %.2f%% exceeds the 2%% budget (off %.3fms on %.3fms per step)",
+				overhead, off/measure*1e3, on/measure*1e3)
 		}
 	}
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: build everything, vet everything,
+# and run the test suite under the race detector. `make check` runs this.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "CHECK OK"

@@ -18,15 +18,24 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/stats"
 	"github.com/s3dgo/s3d/internal/turb"
 	"github.com/s3dgo/s3d/internal/viz"
 )
+
+// casePath inserts the case letter before the path extension:
+// trace.jsonl → trace.A.jsonl.
+func casePath(path string, id byte) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.%c%s", strings.TrimSuffix(path, ext), id, ext)
+}
 
 func main() {
 	table1 := flag.Bool("table1", false, "print table 1 only")
@@ -36,6 +45,8 @@ func main() {
 	nx := flag.Int("nx", 80, "streamwise grid points")
 	ny := flag.Int("ny", 60, "transverse grid points")
 	outDir := flag.String("out", "out_bunsen", "output directory")
+	tracePath := flag.String("trace", "", "write per-case JSONL step traces (case letter inserted before the extension)")
+	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP while a case runs (e.g. :8080)")
 	flag.Parse()
 
 	all := !*table1 && !*surface && !*gradc
@@ -48,7 +59,7 @@ func main() {
 		printTable1(lam)
 	}
 	if *surface || *gradc || all {
-		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all)
+		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr)
 	}
 }
 
@@ -128,7 +139,7 @@ func printTable1(lam flame1d.Properties) {
 	}
 }
 
-func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool) {
+func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr string) {
 	for _, id := range []byte{'A', 'B', 'C'} {
 		p, err := s3d.BunsenProblem(s3d.BunsenOptions{
 			Case: id, Nx: nx, Ny: ny, Nz: 1,
@@ -142,12 +153,48 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 			log.Fatal(err)
 		}
 		fmt.Printf("\ncase %c: %dx%d, %d steps\n", id, nx, ny, steps)
+		var tr *obs.Trace
+		if tracePath != "" {
+			if tr, err = obs.CreateTrace(casePath(tracePath, id)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var probe *s3d.Probe
+		if tr != nil || monitorAddr != "" {
+			probe, err = sim.StartTelemetry(s3d.TelemetryOptions{
+				Case:        fmt.Sprintf("bunsen-%c", id),
+				Config:      map[string]string{"steps": fmt.Sprint(steps)},
+				Trace:       tr,
+				MonitorAddr: monitorAddr,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if addr := probe.MonitorAddr(); addr != "" {
+				fmt.Printf("  live monitor on http://%s/status\n", addr)
+			}
+		}
 		for done := 0; done < steps; done += 50 {
 			n := 50
 			if done+n > steps {
 				n = steps - done
 			}
-			sim.Advance(n, 0.4*sim.StableDt())
+			dt := 0.4 * sim.StableDt()
+			if probe != nil {
+				probe.Advance(n, dt)
+			} else {
+				sim.Advance(n, dt)
+			}
+		}
+		if probe != nil {
+			if err := probe.Close("completed"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if tr != nil {
+			if err := tr.Close(); err != nil {
+				log.Fatal(err)
+			}
 		}
 		lo, hi, _ := sim.MinMax("T")
 		fmt.Printf("  final T ∈ [%.0f, %.0f] K, t = %.3g s\n", lo, hi, sim.Time())

@@ -22,6 +22,7 @@ import (
 
 	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/stats"
 	"github.com/s3dgo/s3d/internal/viz"
 )
@@ -32,6 +33,8 @@ func main() {
 	steps := flag.Int("steps", 400, "time steps")
 	outDir := flag.String("out", "out_liftedflame", "output directory")
 	scatter := flag.Bool("scatter", true, "write figure-11 scatter/conditional data")
+	tracePath := flag.String("trace", "", "write a JSONL step trace to this file")
+	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :8080)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -48,6 +51,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var tr *obs.Trace
+	if *tracePath != "" {
+		if tr, err = obs.CreateTrace(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+	}
+	var probe *s3d.Probe
+	if tr != nil || *monitorAddr != "" {
+		probe, err = sim.StartTelemetry(s3d.TelemetryOptions{
+			Case:        "liftedflame",
+			Config:      map[string]string{"steps": fmt.Sprint(*steps)},
+			Trace:       tr,
+			MonitorAddr: *monitorAddr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if addr := probe.MonitorAddr(); addr != "" {
+			fmt.Printf("live monitor on http://%s/status\n", addr)
+		}
+	}
 	fmt.Printf("lifted H2/air jet: %dx%d grid, %d steps\n", *nx, *ny, *steps)
 	chunk := *steps / 10
 	if chunk == 0 {
@@ -61,9 +86,18 @@ func main() {
 		// Refresh the acoustic CFL limit: the developing flame raises the
 		// sound speed and the peak velocity.
 		dt := 0.4 * sim.StableDt()
-		sim.Advance(n, dt)
+		if probe != nil {
+			probe.Advance(n, dt)
+		} else {
+			sim.Advance(n, dt)
+		}
 		lo, hi, _ := sim.MinMax("T")
 		fmt.Printf("  step %4d  t=%.3g s  T∈[%.0f, %.0f] K\n", sim.Step(), sim.Time(), lo, hi)
+	}
+	if probe != nil {
+		if err := probe.Close("completed"); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if err := renderFig10(sim, *outDir); err != nil {

@@ -2,17 +2,28 @@
 // problems (liftedjet, bunsen-a/b/c, or a periodic inert box) for a number
 // of steps, optionally over a multi-rank domain decomposition, periodically
 // reporting min/max monitoring quantities and writing SDF checkpoints.
+//
+// Observability (see README.md "Observability"): -trace writes one JSONL
+// record per solver step, -monitor serves the live metrics over HTTP, and
+// -perf-report prints the figure-2-style per-region timer breakdown
+// (rank-aggregated via Snapshot/Merge in decomposed runs).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"github.com/s3dgo/s3d"
+	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/pario"
+	"github.com/s3dgo/s3d/internal/perf"
 	"github.com/s3dgo/s3d/internal/sdf"
 )
 
@@ -26,15 +37,27 @@ func main() {
 	ckptEvery := flag.Int("checkpoint", 0, "write an SDF checkpoint every N steps (0: off)")
 	resume := flag.String("resume", "", "restart file to resume from (bit-exact continuation)")
 	outDir := flag.String("out", "out_s3d", "output directory")
+	tracePath := flag.String("trace", "", "write a JSONL step trace to this file")
+	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :8080)")
+	perfReport := flag.Bool("perf-report", false, "print the per-region timer breakdown at exit")
 	flag.Parse()
 
 	prob := buildProblem(*problem, *nx, *ny, *nz)
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
+	var tr *obs.Trace
+	if *tracePath != "" {
+		var err error
+		if tr, err = obs.CreateTrace(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+	}
+	telemetryOn := tr != nil || *monitorAddr != "" || *perfReport
 
 	if *ranks != "" {
-		runDecomposed(prob, *ranks, *steps)
+		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport)
 		return
 	}
 	sim, err := prob.NewSimulation()
@@ -52,30 +75,71 @@ func main() {
 		in.Close()
 		fmt.Printf("resumed from %s at step %d, t = %.4g s\n", *resume, sim.Step(), sim.Time())
 	}
+	// Checkpoint bytes are routed through the §5.1 caching layer when
+	// telemetry is on, so the trace carries genuine pario counters.
+	ckpt := &checkpointer{outDir: *outDir, throughPario: telemetryOn}
+	var probe *s3d.Probe
+	if telemetryOn {
+		if probe, err = sim.StartTelemetry(s3d.TelemetryOptions{
+			Case:        *problem,
+			Config:      map[string]string{"steps": fmt.Sprint(*steps)},
+			Trace:       tr,
+			MonitorAddr: *monitorAddr,
+			Pario:       ckpt.stats,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if addr := probe.MonitorAddr(); addr != "" {
+			fmt.Printf("live monitor on http://%s/status\n", addr)
+		}
+	}
 	dt := 0.4 * sim.StableDt()
 	fmt.Printf("problem=%s grid=%dx%dx%d dt=%.3g\n", *problem, *nx, *ny, *nz, dt)
 	report := *steps / 10
 	if report == 0 {
 		report = 1
 	}
+	advance := func(n int) {
+		if probe != nil {
+			probe.Advance(n, dt)
+		} else {
+			sim.Advance(n, dt)
+		}
+	}
 	for sim.Step() < *steps {
 		n := report
 		if sim.Step()+n > *steps {
 			n = *steps - sim.Step()
 		}
-		sim.Advance(n, dt)
+		advance(n)
 		tlo, thi, _ := sim.MinMax("T")
 		plo, phi, _ := sim.MinMax("p")
 		fmt.Printf("step %5d t=%.4g  T=[%.0f,%.0f]  p=[%.0f,%.0f]\n",
 			sim.Step(), sim.Time(), tlo, thi, plo, phi)
 		if *ckptEvery > 0 && sim.Step()%*ckptEvery == 0 {
-			if err := writeCheckpoint(sim, *outDir); err != nil {
-				log.Fatal(err)
-			}
+			writeAndRecord(ckpt, sim, probe)
 		}
 	}
-	if err := writeCheckpoint(sim, *outDir); err != nil {
+	writeAndRecord(ckpt, sim, probe)
+	if probe != nil {
+		if err := probe.Close("completed"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *perfReport {
+		fmt.Printf("\nper-region timer breakdown (figure-2 style):\n%s", sim.PerfTimers().Report())
+	}
+}
+
+func writeAndRecord(ckpt *checkpointer, sim *s3d.Simulation, probe *s3d.Probe) {
+	paths, err := ckpt.write(sim)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if probe != nil {
+		for _, p := range paths {
+			probe.Checkpoint(p)
+		}
 	}
 }
 
@@ -119,37 +183,82 @@ func buildProblem(name string, nx, ny, nz int) *s3d.Problem {
 	}
 }
 
-func runDecomposed(prob *s3d.Problem, ranks string, steps int) {
+func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool) {
 	var dims [3]int
 	if n, err := fmt.Sscanf(strings.ToLower(ranks), "%dx%dx%d", &dims[0], &dims[1], &dims[2]); n != 3 || err != nil {
 		log.Fatalf("bad -ranks %q (want e.g. 2x2x1)", ranks)
 	}
 	fmt.Printf("decomposed run on %v ranks\n", dims)
+	telemetryOn := tr != nil || monitorAddr != ""
+	// Rank 0 carries the trace and monitor; every rank contributes its
+	// timer snapshot to the aggregate report.
+	var mu sync.Mutex
+	agg := perf.NewTimers()
+	nRanks := dims[0] * dims[1] * dims[2]
 	err := s3d.RunDecomposed(prob.Config, dims, func(r *s3d.RankSim) {
 		r.SetInitial(prob.Initial, prob.InitPressure)
-		dt := 0.4 * r.StableDt()
-		r.Advance(steps, dt)
+		dt := 0.4 * r.StableDtGlobal()
+		if r.Rank == 0 && telemetryOn {
+			probe, err := r.StartTelemetry(s3d.TelemetryOptions{
+				Case:        "decomposed",
+				Config:      map[string]string{"ranks": ranks, "steps": fmt.Sprint(steps)},
+				Trace:       tr,
+				MonitorAddr: monitorAddr,
+				Status:      os.Stdout,
+			})
+			if err != nil {
+				panic(err)
+			}
+			probe.Advance(steps, dt)
+			if err := probe.Close("completed"); err != nil {
+				panic(err)
+			}
+		} else {
+			r.Advance(steps, dt)
+		}
 		lo, hi, _ := r.MinMax("T")
 		fmt.Printf("rank %d offset %v: T=[%.0f,%.0f]\n", r.Rank, r.Offset, lo, hi)
+		if perfReport {
+			mu.Lock()
+			agg.Merge(r.PerfTimers().Snapshot())
+			mu.Unlock()
+		}
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if perfReport {
+		fmt.Printf("\nper-region timer breakdown aggregated over %d ranks:\n%s", nRanks, agg.Report())
+	}
 }
 
-func writeCheckpoint(sim *s3d.Simulation, outDir string) error {
+// checkpointer writes restart + analysis files, optionally routing the
+// bytes through the pario caching layer so runs exercise (and report on)
+// the §5.1 protocol.
+type checkpointer struct {
+	outDir       string
+	throughPario bool
+
+	mu    sync.Mutex
+	pstat obs.ParioStats
+}
+
+// stats returns the accumulated pario counters (Probe's Pario source).
+func (c *checkpointer) stats() obs.ParioStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pstat
+}
+
+func (c *checkpointer) write(sim *s3d.Simulation) ([]string, error) {
 	// A true restart file (full conserved state, bit-exact resume)...
-	rst := filepath.Join(outDir, fmt.Sprintf("restart-%06d.sdf", sim.Step()))
-	out, err := os.Create(rst)
-	if err != nil {
-		return err
+	rst := filepath.Join(c.outDir, fmt.Sprintf("restart-%06d.sdf", sim.Step()))
+	var buf bytes.Buffer
+	if err := sim.SaveCheckpoint(&buf); err != nil {
+		return nil, err
 	}
-	if err := sim.SaveCheckpoint(out); err != nil {
-		out.Close()
-		return err
-	}
-	if err := out.Close(); err != nil {
-		return err
+	if err := c.writeFile(rst, buf.Bytes()); err != nil {
+		return nil, err
 	}
 	// ...plus an analysis file with the derived fields the workflow plots.
 	f := sdf.New()
@@ -158,16 +267,55 @@ func writeCheckpoint(sim *s3d.Simulation, outDir string) error {
 	for _, name := range []string{"rho", "u", "v", "w", "T", "p"} {
 		data, dims, err := sim.Field(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := f.AddVar(name, dims[:], data); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	path := filepath.Join(outDir, fmt.Sprintf("analysis-%06d.sdf", sim.Step()))
-	if err := f.WriteFile(path); err != nil {
-		return err
+	path := filepath.Join(c.outDir, fmt.Sprintf("analysis-%06d.sdf", sim.Step()))
+	var abuf bytes.Buffer
+	if err := f.Encode(&abuf); err != nil {
+		return nil, err
+	}
+	if err := c.writeFile(path, abuf.Bytes()); err != nil {
+		return nil, err
 	}
 	fmt.Println("wrote", rst, "and", path)
-	return nil
+	return []string{rst, path}, nil
+}
+
+// writeFile lands data on disk, through the caching layer when enabled.
+func (c *checkpointer) writeFile(path string, data []byte) error {
+	if !c.throughPario || len(data) == 0 {
+		return os.WriteFile(path, data, 0o644)
+	}
+	file := pario.NewSharedFile(int64(len(data)))
+	var st obs.ParioStats
+	err := comm.NewWorld(1).Run(func(cm *comm.Comm) {
+		cl := pario.NewCacheClient(cm, file, pario.CacheConfig{PageBytes: 64 << 10})
+		const chunk = 8 << 10
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := cl.Write(int64(off), data[off:end]); err != nil {
+				panic(err)
+			}
+		}
+		st = cl.Stats()
+		cl.Close()
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.pstat.CacheAccesses += st.CacheAccesses
+	c.pstat.CacheMisses += st.CacheMisses
+	c.pstat.CacheEvictions += st.CacheEvictions
+	c.pstat.RemoteForwards += st.RemoteForwards
+	c.pstat.CacheHitRate = c.pstat.HitRate()
+	c.mu.Unlock()
+	return os.WriteFile(path, file.Bytes(), 0o644)
 }

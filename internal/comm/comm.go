@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // World owns the communication state for a fixed number of ranks.
@@ -23,8 +24,18 @@ type World struct {
 	boxes []*mailbox
 	coll  *collective
 
-	bytesSent []atomic.Int64
-	msgsSent  []atomic.Int64
+	// Per-rank telemetry, updated with single atomic adds so the accounting
+	// stays off the critical path (the "counts bytes and messages per rank"
+	// contract in the package comment, extended with blocked-time tracking
+	// for the observability layer).
+	bytesSent  []atomic.Int64
+	msgsSent   []atomic.Int64
+	bytesRecv  []atomic.Int64
+	msgsRecv   []atomic.Int64
+	waitNs     []atomic.Int64 // time blocked in point-to-point Wait
+	collNs     []atomic.Int64 // time blocked in collectives
+	allreduces []atomic.Int64
+	barriers   []atomic.Int64
 }
 
 // NewWorld creates a world with n ranks.
@@ -33,11 +44,17 @@ func NewWorld(n int) *World {
 		panic(fmt.Sprintf("comm: non-positive world size %d", n))
 	}
 	w := &World{
-		n:         n,
-		boxes:     make([]*mailbox, n),
-		coll:      newCollective(n),
-		bytesSent: make([]atomic.Int64, n),
-		msgsSent:  make([]atomic.Int64, n),
+		n:          n,
+		boxes:      make([]*mailbox, n),
+		coll:       newCollective(n),
+		bytesSent:  make([]atomic.Int64, n),
+		msgsSent:   make([]atomic.Int64, n),
+		bytesRecv:  make([]atomic.Int64, n),
+		msgsRecv:   make([]atomic.Int64, n),
+		waitNs:     make([]atomic.Int64, n),
+		collNs:     make([]atomic.Int64, n),
+		allreduces: make([]atomic.Int64, n),
+		barriers:   make([]atomic.Int64, n),
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -59,6 +76,49 @@ func (w *World) TotalBytes() int64 {
 	var t int64
 	for i := range w.bytesSent {
 		t += w.bytesSent[i].Load()
+	}
+	return t
+}
+
+// RankStats is the cumulative communication telemetry of one rank.
+type RankStats struct {
+	BytesSent, MsgsSent int64
+	BytesRecv, MsgsRecv int64
+	// WaitSec is time blocked in point-to-point Wait; CollSec is time
+	// blocked in Allreduce/Barrier/Allgather (a Barrier's time is charged to
+	// CollSec once — it is an Allreduce internally — but counted under both
+	// Barriers and Allreduces).
+	WaitSec, CollSec     float64
+	Allreduces, Barriers int64
+}
+
+// RankStats returns rank r's cumulative telemetry.
+func (w *World) RankStats(r int) RankStats {
+	return RankStats{
+		BytesSent:  w.bytesSent[r].Load(),
+		MsgsSent:   w.msgsSent[r].Load(),
+		BytesRecv:  w.bytesRecv[r].Load(),
+		MsgsRecv:   w.msgsRecv[r].Load(),
+		WaitSec:    float64(w.waitNs[r].Load()) / 1e9,
+		CollSec:    float64(w.collNs[r].Load()) / 1e9,
+		Allreduces: w.allreduces[r].Load(),
+		Barriers:   w.barriers[r].Load(),
+	}
+}
+
+// TotalStats sums RankStats over all ranks.
+func (w *World) TotalStats() RankStats {
+	var t RankStats
+	for r := 0; r < w.n; r++ {
+		s := w.RankStats(r)
+		t.BytesSent += s.BytesSent
+		t.MsgsSent += s.MsgsSent
+		t.BytesRecv += s.BytesRecv
+		t.MsgsRecv += s.MsgsRecv
+		t.WaitSec += s.WaitSec
+		t.CollSec += s.CollSec
+		t.Allreduces += s.Allreduces
+		t.Barriers += s.Barriers
 	}
 	return t
 }
@@ -106,6 +166,9 @@ func (c *Comm) Size() int { return c.world.n }
 // World returns the underlying world (for accounting queries).
 func (c *Comm) World() *World { return c.world }
 
+// Stats returns this rank's cumulative communication telemetry.
+func (c *Comm) Stats() RankStats { return c.world.RankStats(c.rank) }
+
 // message is an in-flight point-to-point message.
 type message struct {
 	src, tag int
@@ -132,6 +195,10 @@ type Request struct {
 	box      *mailbox
 	src, tag int
 	buf      []float64
+	// telemetry attribution: the posting rank's world (nil for sends, which
+	// complete at post time).
+	w    *World
+	rank int
 }
 
 // Isend posts a non-blocking send of data to rank dst with a tag. The data
@@ -160,16 +227,19 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 	if src < 0 || src >= c.world.n {
 		panic(fmt.Sprintf("comm: rank %d Irecv from invalid rank %d", c.rank, src))
 	}
-	return &Request{box: c.world.boxes[c.rank], src: src, tag: tag, buf: buf}
+	return &Request{box: c.world.boxes[c.rank], src: src, tag: tag, buf: buf,
+		w: c.world, rank: c.rank}
 }
 
 // Wait blocks until the request completes. For receives it matches the
 // earliest-arrived message from (src, tag) and copies it into the posted
 // buffer; a length mismatch panics, as MPI would raise a truncation error.
+// Time spent blocked is charged to the posting rank's wait counter.
 func (r *Request) Wait() {
 	if r.done {
 		return
 	}
+	start := time.Now()
 	box := r.box
 	box.mu.Lock()
 	defer box.mu.Unlock()
@@ -184,6 +254,9 @@ func (r *Request) Wait() {
 				copy(r.buf, m.data)
 				box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
 				r.done = true
+				r.w.bytesRecv[r.rank].Add(int64(8 * len(r.buf)))
+				r.w.msgsRecv[r.rank].Add(1)
+				r.w.waitNs[r.rank].Add(time.Since(start).Nanoseconds())
 				return
 			}
 		}
@@ -214,6 +287,10 @@ func (c *Comm) RecvAny(tags []int) (src, tag int, data []float64) {
 				if m.tag == t {
 					src, tag, data = m.src, m.tag, m.data
 					box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
+					// Counted as received; idle time in the server loop is
+					// deliberately not charged as wait time.
+					c.world.bytesRecv[c.rank].Add(int64(8 * len(data)))
+					c.world.msgsRecv[c.rank].Add(1)
 					return src, tag, data
 				}
 			}
@@ -280,7 +357,13 @@ func newCollective(n int) *collective {
 
 // Allreduce combines vals across all ranks with op; on return vals holds
 // the reduced result on every rank. All ranks must call with equal lengths.
+// The call's duration is charged to the rank's collective-time counter.
 func (c *Comm) Allreduce(op Op, vals []float64) {
+	start := time.Now()
+	defer func() {
+		c.world.collNs[c.rank].Add(time.Since(start).Nanoseconds())
+		c.world.allreduces[c.rank].Add(1)
+	}()
 	col := c.world.coll
 	col.mu.Lock()
 	for col.phase == 1 { // previous collective still draining
@@ -317,6 +400,7 @@ func (c *Comm) Allreduce(op Op, vals []float64) {
 
 // Barrier blocks until all ranks arrive.
 func (c *Comm) Barrier() {
+	c.world.barriers[c.rank].Add(1)
 	v := []float64{0}
 	c.Allreduce(Sum, v)
 }
@@ -324,6 +408,10 @@ func (c *Comm) Barrier() {
 // Allgather collects each rank's slice; the result indexed by rank is
 // returned on every rank. All ranks must call with non-nil slices.
 func (c *Comm) Allgather(vals []float64) [][]float64 {
+	start := time.Now()
+	defer func() {
+		c.world.collNs[c.rank].Add(time.Since(start).Nanoseconds())
+	}()
 	col := c.world.coll
 	col.mu.Lock()
 	for col.phase == 1 {

@@ -230,6 +230,72 @@ func TestByteAccounting(t *testing.T) {
 	}
 }
 
+func TestCounters2x2Exchange(t *testing.T) {
+	// Telemetry counters across a realistic exchange on a 2×2×1 topology:
+	// every rank swaps one fixed-size message with its x and y neighbours
+	// (periodic, so every rank has exactly two distinct neighbours), then
+	// joins one Allreduce. Byte and message counts must come out exact.
+	const msgLen = 250 // 2000 bytes per message
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) {
+		ct, err := NewCart(c, [3]int{2, 2, 1}, [3]bool{true, true, false})
+		if err != nil {
+			panic(err)
+		}
+		var reqs []*Request
+		for axis := 0; axis < 2; axis++ {
+			nb := ct.Neighbor(axis, +1) // with dims 2, +1 and -1 coincide
+			buf := make([]float64, msgLen)
+			reqs = append(reqs, c.Irecv(nb, axis, make([]float64, msgLen)))
+			reqs = append(reqs, c.Isend(nb, axis, buf))
+		}
+		WaitAll(reqs...)
+		v := []float64{float64(c.Rank())}
+		c.Allreduce(Sum, v)
+		if v[0] != 6 { // 0+1+2+3
+			panic("bad allreduce")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		s := w.RankStats(r)
+		// Two point-to-point sends of 2000 bytes plus one Allreduce charged
+		// at 16 bytes per element (2·8·len, the tree-allreduce model).
+		if s.MsgsSent != 2 || s.BytesSent != 2*8*msgLen+16 {
+			t.Fatalf("rank %d sent: msgs=%d bytes=%d", r, s.MsgsSent, s.BytesSent)
+		}
+		if s.MsgsRecv != 2 || s.BytesRecv != 2*8*msgLen {
+			t.Fatalf("rank %d recv: msgs=%d bytes=%d", r, s.MsgsRecv, s.BytesRecv)
+		}
+		if s.Allreduces != 1 || s.Barriers != 0 {
+			t.Fatalf("rank %d collectives: %+v", r, s)
+		}
+		if s.WaitSec < 0 || s.CollSec <= 0 {
+			t.Fatalf("rank %d blocked-time: wait=%g coll=%g", r, s.WaitSec, s.CollSec)
+		}
+	}
+	tot := w.TotalStats()
+	if tot.BytesSent != 4*(2*8*msgLen+16) || tot.MsgsRecv != 8 {
+		t.Fatalf("totals: %+v", tot)
+	}
+}
+
+func TestBarrierCountsOnce(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) { c.Barrier() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		s := w.RankStats(r)
+		if s.Barriers != 1 || s.Allreduces != 1 {
+			t.Fatalf("rank %d: barriers=%d allreduces=%d", r, s.Barriers, s.Allreduces)
+		}
+	}
+}
+
 func TestCartTopology(t *testing.T) {
 	w := NewWorld(24)
 	var bad atomic.Int64

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Monitor is the opt-in live view of a running case: an expvar-style HTTP
+// endpoint serving the metrics registry and the latest step event as JSON.
+// It replaces "watch the stdout scroll" for long runs — the same role the
+// paper's web dashboard plays for production S3D jobs (§9), but attached
+// directly to the process.
+//
+// Endpoints:
+//
+//	GET /metrics  — Snapshot of the registry (counters, gauges, histograms)
+//	GET /status   — the most recent StepEvent plus run metadata
+//	GET /healthz  — 200 "ok" liveness probe
+type Monitor struct {
+	reg *Registry
+	srv *http.Server
+	ln  net.Listener
+
+	mu    sync.Mutex
+	last  *StepEvent
+	run   *RunInfo
+	start time.Time
+
+	done chan struct{}
+}
+
+// StartMonitor listens on addr (host:port; use ":0" for an ephemeral port)
+// and serves until Close. The registry may be nil (serves step events only).
+func StartMonitor(addr string, reg *Registry) (*Monitor, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: monitor listen %s: %w", addr, err)
+	}
+	m := &Monitor{reg: reg, ln: ln, start: time.Now(), done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/status", m.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	m.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(m.done)
+		// Serve returns ErrServerClosed on Close; other errors are terminal
+		// for the monitor but must not take the simulation down.
+		_ = m.srv.Serve(ln)
+	}()
+	return m, nil
+}
+
+// Addr returns the bound address (resolves ":0" to the actual port).
+func (m *Monitor) Addr() string { return m.ln.Addr().String() }
+
+// SetRun records the run metadata served under /status.
+func (m *Monitor) SetRun(info *RunInfo) {
+	m.mu.Lock()
+	m.run = info
+	m.mu.Unlock()
+}
+
+// Observe publishes the latest step event.
+func (m *Monitor) Observe(ev StepEvent) {
+	m.mu.Lock()
+	m.last = &ev
+	m.mu.Unlock()
+}
+
+// Close shuts the listener down and waits for the serve loop to exit.
+func (m *Monitor) Close() error {
+	err := m.srv.Close()
+	<-m.done
+	return err
+}
+
+func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, m.reg.Snapshot())
+}
+
+// statusDoc is the /status response body.
+type statusDoc struct {
+	UptimeSec float64    `json:"uptime_sec"`
+	Run       *RunInfo   `json:"run,omitempty"`
+	LastStep  *StepEvent `json:"last_step,omitempty"`
+}
+
+func (m *Monitor) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	doc := statusDoc{
+		UptimeSec: time.Since(m.start).Seconds(),
+		Run:       m.run,
+		LastStep:  m.last,
+	}
+	m.mu.Unlock()
+	writeJSON(w, doc)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

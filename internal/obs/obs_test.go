@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("comm.bytes")
+	c.Add(100)
+	c.Inc()
+	if c.Value() != 101 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("comm.bytes") != c {
+		t.Fatal("counter not memoised")
+	}
+	g := r.Gauge("solver.t")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+	h := r.Histogram("flush.sec", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-55.55/4) > 1e-12 {
+		t.Fatalf("hist mean = %g", got)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["flush.sec"]
+	if !reflect.DeepEqual(hs.Counts, []int64{1, 1, 1, 1}) {
+		t.Fatalf("bucket counts = %v", hs.Counts)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", []float64{500}).Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n"] != 8000 {
+		t.Fatalf("counter = %d", s.Counters["n"])
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Fatalf("hist count = %d", s.Histograms["h"].Count)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(1)
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Fatal("nil registry should snapshot empty")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("bytes").Add(10)
+	a.Gauge("tmax").Set(1500)
+	b := NewRegistry()
+	b.Counter("bytes").Add(5)
+	b.Gauge("tmax").Set(1800)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Counters["bytes"] != 15 {
+		t.Fatalf("merged counter = %d", s.Counters["bytes"])
+	}
+	if s.Gauges["tmax"] != 1800 {
+		t.Fatalf("merged gauge = %g", s.Gauges["tmax"])
+	}
+}
+
+// sampleStep returns a fully populated step event for round-trip tests.
+func sampleStep(step int) StepEvent {
+	return StepEvent{
+		Step: step, Time: 1.25e-6 * float64(step), Dt: 1.25e-6, CFL: 0.41,
+		WallSec:      0.013,
+		StageWallSec: []float64{0.002, 0.002, 0.002, 0.002, 0.002, 0.003},
+		TMin:         298.2, TMax: 1712.9, PMin: 100900, PMax: 101800,
+		MassDrift: -3.1e-13, HeatRelease: 4.2e3,
+		Comm: CommStats{
+			BytesSent: 81920, MsgsSent: 12, BytesRecv: 81920, MsgsRecv: 12,
+			WaitSec: 0.0004, CollSec: 0.0001, Allreduces: 2, Barriers: 1,
+		},
+		Pario: ParioStats{
+			CacheAccesses: 64, CacheMisses: 8, CacheEvictions: 2,
+			RemoteForwards: 16, CacheHitRate: 0.875,
+			WBQueueBytes: 4096, WBFlushes: 3, WBFlushSec: 0.002, WBLocalWrites: 40,
+		},
+	}
+}
+
+// TestTraceSchemaRoundTrip asserts the acceptance-criterion schema: per-step
+// records carry dt, CFL, per-stage wall time, comm bytes and the pario cache
+// hit rate, and survive an encode/decode cycle exactly.
+func TestTraceSchemaRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.RunStart("liftedjet", map[string]string{"nx": "96", "ny": "72"})
+	want := []StepEvent{sampleStep(1), sampleStep(2)}
+	for _, ev := range want {
+		tr.Step(ev)
+	}
+	tr.Checkpoint(2, "out/restart-000002.sdf")
+	tr.RunDone(RunSummary{Steps: 2, SimTime: 2.5e-6, WallSec: 0.031})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	if recs[0].Kind != KindRunStart || recs[0].Run == nil || recs[0].Run.Case != "liftedjet" {
+		t.Fatalf("bad run_start: %+v", recs[0])
+	}
+	if recs[0].Run.GoVersion == "" || recs[0].Run.Config["nx"] != "96" {
+		t.Fatalf("run_start missing build/config info: %+v", recs[0].Run)
+	}
+	for i, ev := range want {
+		got := recs[1+i]
+		if got.Kind != KindStep || got.StepData == nil {
+			t.Fatalf("record %d not a step: %+v", 1+i, got)
+		}
+		if !reflect.DeepEqual(*got.StepData, ev) {
+			t.Fatalf("step %d round-trip mismatch:\n got %+v\nwant %+v", i, *got.StepData, ev)
+		}
+	}
+	if recs[3].Kind != KindCheckpoint || recs[3].Checkpoint.Step != 2 {
+		t.Fatalf("bad checkpoint: %+v", recs[3])
+	}
+	if recs[4].Kind != KindRunDone || recs[4].Done.Steps != 2 {
+		t.Fatalf("bad run_done: %+v", recs[4])
+	}
+
+	// The JSON keys the acceptance criterion names must be literally present.
+	line := bytes.Split(buf.Bytes(), []byte("\n"))[1]
+	for _, key := range []string{`"dt"`, `"cfl"`, `"stage_wall_sec"`, `"bytes_sent"`, `"cache_hit_rate"`} {
+		if !bytes.Contains(line, []byte(key)) {
+			t.Fatalf("step record missing %s: %s", key, line)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.RunStart("bunsen-a", nil)
+	for i := 1; i <= 3; i++ {
+		ev := sampleStep(i)
+		ev.Comm.BytesSent = int64(i) * 1000 // cumulative
+		tr.Step(ev)
+	}
+	tr.Checkpoint(3, "x.sdf")
+	tr.RunDone(RunSummary{Steps: 3, SimTime: 3.75e-6, WallSec: 0.05})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(recs)
+	if s.Case != "bunsen-a" || s.Steps != 3 || !s.Done || s.Checkpoints != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.CommBytes != 3000 {
+		t.Fatalf("comm bytes = %d (want last cumulative value)", s.CommBytes)
+	}
+	if s.TMax != 1712.9 || s.WallSec != 0.05 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestReadTraceBadLine(t *testing.T) {
+	_, err := ReadTrace(bytes.NewReader([]byte("{\"kind\":\"step\"}\nnot json\n")))
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestStatusLine(t *testing.T) {
+	line := sampleStep(7).StatusLine()
+	for _, want := range []string{"step", "dt=", "CFL=", "T=[", "cache=88%"} {
+		if !bytes.Contains([]byte(line), []byte(want)) {
+			t.Fatalf("status line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestMonitorServesLiveMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("comm.bytes_sent").Add(12345)
+	m, err := StartMonitor("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetRun(NewRunInfo("test-case", map[string]string{"steps": "10"}))
+	m.Observe(sampleStep(9))
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + m.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["comm.bytes_sent"] != 12345 {
+		t.Fatalf("metrics = %+v", snap.Counters)
+	}
+
+	var doc struct {
+		Run      *RunInfo   `json:"run"`
+		LastStep *StepEvent `json:"last_step"`
+	}
+	if err := json.Unmarshal(get("/status"), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Run == nil || doc.Run.Case != "test-case" {
+		t.Fatalf("status run = %+v", doc.Run)
+	}
+	if doc.LastStep == nil || doc.LastStep.Step != 9 || doc.LastStep.Dt != 1.25e-6 {
+		t.Fatalf("status last_step = %+v", doc.LastStep)
+	}
+	if string(get("/healthz")) != "ok\n" {
+		t.Fatal("bad healthz")
+	}
+
+	// Live update: a later observation must be visible immediately.
+	reg.Counter("comm.bytes_sent").Add(1)
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["comm.bytes_sent"] != 12346 {
+		t.Fatalf("metrics not live: %+v", snap.Counters)
+	}
+}
+
+func TestParioHitRate(t *testing.T) {
+	p := ParioStats{CacheAccesses: 8, CacheMisses: 2}
+	if got := p.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %g", got)
+	}
+	if (&ParioStats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+}

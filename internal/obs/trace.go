@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// The structured run trace: one JSON object per line (JSONL). Every record
+// carries a "kind" discriminator; exactly one of the kind-specific payload
+// fields is populated. The schema is documented field-by-field in README.md
+// ("Observability") and round-tripped by the obs tests.
+
+// Record kinds.
+const (
+	KindRunStart   = "run_start"
+	KindStep       = "step"
+	KindCheckpoint = "checkpoint"
+	KindRunDone    = "run_done"
+)
+
+// CommStats is the communication-layer slice of a step record: cumulative
+// per-rank message counts and blocked time, as accounted by internal/comm.
+type CommStats struct {
+	BytesSent int64 `json:"bytes_sent"`
+	MsgsSent  int64 `json:"msgs_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	// WaitSec is time blocked in point-to-point Wait; CollSec is time
+	// blocked in collectives (Allreduce/Barrier/Allgather).
+	WaitSec    float64 `json:"wait_sec"`
+	CollSec    float64 `json:"coll_sec"`
+	Allreduces int64   `json:"allreduces"`
+	Barriers   int64   `json:"barriers"`
+}
+
+// ParioStats is the parallel-I/O slice of a step record: cache behaviour of
+// the §5.1 caching layer and queue state of the §5.2 write-behind layer.
+type ParioStats struct {
+	CacheAccesses  int64 `json:"cache_accesses"` // local page accesses
+	CacheMisses    int64 `json:"cache_misses"`   // page loads from the file system
+	CacheEvictions int64 `json:"cache_evictions"`
+	RemoteForwards int64 `json:"remote_forwards"`
+	// CacheHitRate = (accesses − misses) / accesses, 0 when no accesses.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Write-behind: current first-stage queue depth and cumulative flushes.
+	WBQueueBytes  int64   `json:"wb_queue_bytes"`
+	WBFlushes     int64   `json:"wb_flushes"`
+	WBFlushSec    float64 `json:"wb_flush_sec"` // cumulative flush latency
+	WBLocalWrites int64   `json:"wb_local_writes"`
+}
+
+// HitRate computes the cache hit rate from accesses and misses.
+func (p *ParioStats) HitRate() float64 {
+	if p.CacheAccesses == 0 {
+		return 0
+	}
+	return float64(p.CacheAccesses-p.CacheMisses) / float64(p.CacheAccesses)
+}
+
+// StepEvent is the per-solver-step record (one per StepOnce).
+type StepEvent struct {
+	Step int     `json:"step"`
+	Time float64 `json:"time"` // physical time after the step (s)
+	Dt   float64 `json:"dt"`   // step size (s)
+	// CFL is dt relative to the most recently evaluated acoustic limit
+	// (dt·CFLnumber/acousticDt); the limit is refreshed at the driver's
+	// cadence, not every step, to keep tracing off the hot path.
+	CFL float64 `json:"cfl"`
+	// WallSec is the wall time of the whole step; StageWallSec is the wall
+	// time of each RK stage (RHS evaluation + 2N update), len = 6 for the
+	// production RK46-NL integrator.
+	WallSec      float64   `json:"wall_sec"`
+	StageWallSec []float64 `json:"stage_wall_sec"`
+	// Physics monitors, sampled at the final RK stage evaluation.
+	TMin float64 `json:"t_min"`
+	TMax float64 `json:"t_max"`
+	PMin float64 `json:"p_min"`
+	PMax float64 `json:"p_max"`
+	// MassDrift is (M(t) − M(0)) / M(0) over the block interior.
+	MassDrift float64 `json:"mass_drift"`
+	// HeatRelease is the volume integral of −Σ ω̇ᵢhᵢ over the interior (W),
+	// accumulated during the final RK stage's chemistry evaluation.
+	HeatRelease float64 `json:"heat_release"`
+
+	Comm  CommStats  `json:"comm"`
+	Pario ParioStats `json:"pario"`
+}
+
+// RunInfo is the run_start payload: enough to identify what ran and how.
+type RunInfo struct {
+	Case      string            `json:"case"`
+	GoVersion string            `json:"go_version"`
+	Revision  string            `json:"revision,omitempty"`
+	Modified  bool              `json:"modified,omitempty"` // VCS tree had local edits
+	NumCPU    int               `json:"num_cpu"`
+	Config    map[string]string `json:"config"` // flattened config manifest
+}
+
+// CheckpointEvent is the checkpoint payload.
+type CheckpointEvent struct {
+	Step int    `json:"step"`
+	Path string `json:"path"`
+}
+
+// RunSummary is the run_done payload.
+type RunSummary struct {
+	Steps       int      `json:"steps"`
+	SimTime     float64  `json:"sim_time"`
+	WallSec     float64  `json:"wall_sec"`
+	Metrics     Snapshot `json:"metrics"`
+	PerfReport  string   `json:"perf_report,omitempty"`
+	ExitMessage string   `json:"exit_message,omitempty"`
+}
+
+// Record is the JSONL envelope.
+type Record struct {
+	Kind       string           `json:"kind"`
+	Run        *RunInfo         `json:"run,omitempty"`
+	StepData   *StepEvent       `json:"step,omitempty"`
+	Checkpoint *CheckpointEvent `json:"checkpoint,omitempty"`
+	Done       *RunSummary      `json:"done,omitempty"`
+}
+
+// Trace writes the JSONL stream. Methods are safe for concurrent use.
+type Trace struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // non-nil when Trace owns the sink
+	err error
+}
+
+// NewTrace wraps a writer. The caller owns w's lifetime.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: bufio.NewWriter(w)}
+}
+
+// CreateTrace creates (truncates) a trace file; Close flushes and closes it.
+func CreateTrace(path string) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{w: bufio.NewWriter(f), c: f}, nil
+}
+
+func (t *Trace) emit(rec Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// RunStart emits the run_start record.
+func (t *Trace) RunStart(caseName string, config map[string]string) {
+	t.emit(Record{Kind: KindRunStart, Run: NewRunInfo(caseName, config)})
+}
+
+// Step emits one step record.
+func (t *Trace) Step(ev StepEvent) { t.emit(Record{Kind: KindStep, StepData: &ev}) }
+
+// Checkpoint emits a checkpoint record.
+func (t *Trace) Checkpoint(step int, path string) {
+	t.emit(Record{Kind: KindCheckpoint, Checkpoint: &CheckpointEvent{Step: step, Path: path}})
+}
+
+// RunDone emits the run_done record.
+func (t *Trace) RunDone(sum RunSummary) { t.emit(Record{Kind: KindRunDone, Done: &sum}) }
+
+// Flush drains buffered records to the sink.
+func (t *Trace) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Close flushes and, when Trace owns the sink, closes it. It returns the
+// first error encountered over the trace's lifetime.
+func (t *Trace) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); t.err == nil {
+			t.err = cerr
+		}
+		t.c = nil
+	}
+	return t.err
+}
+
+// NewRunInfo fills a RunInfo from the build environment.
+func NewRunInfo(caseName string, config map[string]string) *RunInfo {
+	info := &RunInfo{
+		Case:      caseName,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Config:    config,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// ReadTrace parses a JSONL trace stream.
+func ReadTrace(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return recs, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, err
+	}
+	return recs, nil
+}
+
+// ReadTraceFile parses a trace.jsonl from disk.
+func ReadTraceFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// TraceSummary condenses a trace for dashboards: the aggregate the
+// workflow layer surfaces next to the min/max plots.
+type TraceSummary struct {
+	Case        string  `json:"case"`
+	Steps       int     `json:"steps"`
+	SimTime     float64 `json:"sim_time"`
+	WallSec     float64 `json:"wall_sec"`
+	MeanStepSec float64 `json:"mean_step_sec"`
+	TMax        float64 `json:"t_max"`
+	CommBytes   int64   `json:"comm_bytes"`
+	CacheHits   float64 `json:"cache_hit_rate"`
+	Checkpoints int     `json:"checkpoints"`
+	Done        bool    `json:"done"`
+}
+
+// Summarize reduces parsed records to a TraceSummary.
+func Summarize(recs []Record) TraceSummary {
+	var s TraceSummary
+	var stepWall float64
+	for _, r := range recs {
+		switch r.Kind {
+		case KindRunStart:
+			if r.Run != nil {
+				s.Case = r.Run.Case
+			}
+		case KindStep:
+			if ev := r.StepData; ev != nil {
+				s.Steps++
+				s.SimTime = ev.Time
+				stepWall += ev.WallSec
+				if ev.TMax > s.TMax {
+					s.TMax = ev.TMax
+				}
+				// Comm/pario counters in step records are cumulative; the
+				// last record carries the totals.
+				s.CommBytes = ev.Comm.BytesSent
+				s.CacheHits = ev.Pario.CacheHitRate
+			}
+		case KindCheckpoint:
+			s.Checkpoints++
+		case KindRunDone:
+			s.Done = true
+			if r.Done != nil {
+				s.WallSec = r.Done.WallSec
+			}
+		}
+	}
+	if s.WallSec == 0 {
+		s.WallSec = stepWall
+	}
+	if s.Steps > 0 {
+		s.MeanStepSec = stepWall / float64(s.Steps)
+	}
+	return s
+}
+
+// SummarizeFile reads and summarises a trace file in one call.
+func SummarizeFile(path string) (TraceSummary, error) {
+	recs, err := ReadTraceFile(path)
+	if err != nil {
+		return TraceSummary{}, err
+	}
+	return Summarize(recs), nil
+}
+
+// StatusLine renders the human-readable periodic status line for a step
+// event — the text exporter next to the JSONL one.
+func (ev StepEvent) StatusLine() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "step %6d  t=%.4g s  dt=%.3g  CFL=%.2f  T=[%.0f,%.0f] K  wall=%.1f ms",
+		ev.Step, ev.Time, ev.Dt, ev.CFL, ev.TMin, ev.TMax, ev.WallSec*1e3)
+	if ev.Comm.BytesSent > 0 {
+		fmt.Fprintf(&b, "  comm=%.1f MB", float64(ev.Comm.BytesSent)/1e6)
+	}
+	if ev.Pario.CacheAccesses > 0 {
+		fmt.Fprintf(&b, "  cache=%.0f%%", ev.Pario.CacheHitRate*100)
+	}
+	return b.String()
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/obs"
 )
 
 // SharedFile is the in-memory stand-in for the parallel file system file
@@ -127,8 +128,27 @@ type CacheClient struct {
 	hasLRU    bool
 
 	serverDone chan struct{}
-	// Stats.
+	// Stats. LocalHits/RemoteForwards count client-side operations (owned by
+	// the client goroutine); accesses/Misses/Evictions are updated under
+	// pageMu because the server goroutine also touches pages.
 	LocalHits, RemoteForwards, Evictions int
+	Misses                               int // page loads from the file system
+	accesses                             int // page-cache accesses (local + served)
+}
+
+// Stats snapshots the cache telemetry in the observability layer's schema.
+// Like Read/Write it must be called by the owning rank's goroutine.
+func (cl *CacheClient) Stats() obs.ParioStats {
+	cl.pageMu.Lock()
+	s := obs.ParioStats{
+		CacheAccesses:  int64(cl.accesses),
+		CacheMisses:    int64(cl.Misses),
+		CacheEvictions: int64(cl.Evictions),
+		RemoteForwards: int64(cl.RemoteForwards),
+	}
+	cl.pageMu.Unlock()
+	s.CacheHitRate = s.HitRate()
+	return s
 }
 
 // NewCacheClient attaches a rank to the caching layer over file. All ranks
@@ -269,9 +289,11 @@ func (cl *CacheClient) readLocal(page, inPage int64, buf []byte) {
 // ensurePageLocked returns the resident page, loading from the file system
 // (and evicting LRU pages past the bound) as needed. pageMu must be held.
 func (cl *CacheClient) ensurePageLocked(page int64) *cachedPage {
+	cl.accesses++
 	if p, ok := cl.pages[page]; ok {
 		return p
 	}
+	cl.Misses++
 	pb := cl.cfg.pageBytes()
 	size := min64(pb, cl.file.Size()-page*pb)
 	// Under memory pressure, evict least-recently-used local pages first

@@ -2,6 +2,7 @@ package pario
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"github.com/s3dgo/s3d/internal/comm"
@@ -34,6 +35,37 @@ func runCached(t *testing.T, k Kernel, cfg CacheConfig) (*SharedFile, []cacheSta
 		t.Fatal(err)
 	}
 	return file, statsOut
+}
+
+func TestCacheStatsTelemetry(t *testing.T) {
+	// Stats() must report accesses, misses and a consistent hit rate for the
+	// observability layer. Single rank: every page access is local, the
+	// first touch of each page is a miss, re-reads are hits.
+	const pageB = 512
+	file := NewSharedFile(4 * pageB)
+	w := comm.NewWorld(1)
+	err := w.Run(func(c *comm.Comm) {
+		cl := NewCacheClient(c, file, CacheConfig{PageBytes: pageB})
+		buf := make([]byte, pageB)
+		for pass := 0; pass < 3; pass++ {
+			for pg := int64(0); pg < 4; pg++ {
+				if err := cl.Read(pg*pageB, buf); err != nil {
+					panic(err)
+				}
+			}
+		}
+		s := cl.Stats()
+		if s.CacheAccesses != 12 || s.CacheMisses != 4 {
+			panic(fmt.Sprintf("accesses=%d misses=%d", s.CacheAccesses, s.CacheMisses))
+		}
+		if s.CacheHitRate != 8.0/12.0 {
+			panic(fmt.Sprintf("hit rate = %g", s.CacheHitRate))
+		}
+		cl.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestCacheProtocolProducesCanonicalImage(t *testing.T) {

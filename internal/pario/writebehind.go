@@ -12,8 +12,10 @@ package pario
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/obs"
 )
 
 // Write-behind message tags (distinct from the cache-layer tags).
@@ -42,8 +44,30 @@ type WriteBehindClient struct {
 	dirty  map[int64]int64 // high-water marks
 
 	serverDone chan struct{}
-	// Stats.
+	// Stats (owned by the client goroutine, like Write/Close).
 	Flushes, LocalAppends int
+	flushNs               int64 // cumulative first-stage flush latency
+}
+
+// QueueBytes returns the current first-stage queue depth: bytes buffered
+// locally that have not yet been shipped to their page owners.
+func (cl *WriteBehindClient) QueueBytes() int64 {
+	var total int64
+	for _, b := range cl.pendingBytes {
+		total += b
+	}
+	return total
+}
+
+// Stats snapshots the write-behind telemetry in the observability layer's
+// schema. Like Write it must be called by the owning rank's goroutine.
+func (cl *WriteBehindClient) Stats() obs.ParioStats {
+	return obs.ParioStats{
+		WBQueueBytes:  cl.QueueBytes(),
+		WBFlushes:     int64(cl.Flushes),
+		WBFlushSec:    float64(cl.flushNs) / 1e9,
+		WBLocalWrites: int64(cl.LocalAppends),
+	}
 }
 
 // NewWriteBehindClient opens the layer collectively over file. The §5.2
@@ -109,14 +133,17 @@ func (cl *WriteBehindClient) Write(off int64, data []byte) error {
 	return nil
 }
 
-// flush ships one destination's sub-buffer to its owner.
+// flush ships one destination's sub-buffer to its owner, recording the
+// round-trip latency (send until the owner's ack).
 func (cl *WriteBehindClient) flush(d int) {
 	if len(cl.pending[d]) == 0 {
 		return
 	}
+	start := time.Now()
 	cl.c.Send(d, tagWBFlush, cl.pending[d])
 	ack := make([]float64, 1)
 	cl.c.Recv(d, tagWBFlushAck, ack)
+	cl.flushNs += time.Since(start).Nanoseconds()
 	cl.pending[d] = nil
 	cl.pendingBytes[d] = 0
 	cl.Flushes++

@@ -30,15 +30,61 @@ func TestTimersExclusiveNesting(t *testing.T) {
 	}
 }
 
-func TestTimersMismatchedStopPanics(t *testing.T) {
+func TestTimersMismatchedStopRecordsError(t *testing.T) {
 	tm := NewTimers()
 	tm.Start("a")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	tm.Stop("b")
+	tm.Stop("b") // mismatched: must not panic, must record a descriptive error
+	err := tm.Err()
+	if err == nil {
+		t.Fatal("expected sticky error after mismatched Stop")
+	}
+	if !strings.Contains(err.Error(), `Stop("b")`) || !strings.Contains(err.Error(), `"a"`) {
+		t.Fatalf("error not descriptive: %v", err)
+	}
+	tm.Stop("a") // region a is still open and must close cleanly
+	if tm.Region("a").Calls != 1 {
+		t.Fatalf("region a calls = %d", tm.Region("a").Calls)
+	}
+	// The first error is sticky across later misuse.
+	tm.Stop("a")
+	if got := tm.Err(); got != err {
+		t.Fatalf("sticky error replaced: %v", got)
+	}
+}
+
+func TestTimersStopEmptyStackRecordsError(t *testing.T) {
+	tm := NewTimers()
+	tm.Stop("never-started")
+	if err := tm.Err(); err == nil || !strings.Contains(err.Error(), "empty region stack") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTimersSnapshotIsImmutableCopy(t *testing.T) {
+	now := time.Unix(0, 0)
+	clk := func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}
+	tm := NewTimersClock(clk)
+	tm.Time("rhs", func() {})
+	snap := tm.Snapshot()
+	tm.Time("rhs", func() {})
+	tm.Time("filter", func() {})
+	if snap.Region("rhs").Calls != 1 {
+		t.Fatalf("snapshot mutated by later accumulation: calls = %d", snap.Region("rhs").Calls)
+	}
+	if snap.Region("filter") != nil {
+		t.Fatal("snapshot grew a region recorded after the copy")
+	}
+	// The per-rank merge pattern: snapshots from each rank fold into a fresh
+	// aggregate owned by the merging goroutine.
+	agg := NewTimers()
+	agg.Merge(snap)
+	agg.Merge(tm.Snapshot())
+	if agg.Region("rhs").Calls != 3 {
+		t.Fatalf("merged calls = %d", agg.Region("rhs").Calls)
+	}
 }
 
 func TestTimersReportAndMerge(t *testing.T) {

@@ -14,10 +14,18 @@ import (
 // Timers accumulates exclusive time per named region for one rank, in the
 // style of the TAU instrumentation used on S3D (paper §4). Regions nest;
 // time spent in an inner region is excluded from the enclosing one.
+//
+// Concurrency contract: a Timers value has exactly one owner goroutine —
+// the rank that Start/Stop/Time it. It holds no locks, so concurrent
+// mutation from multiple goroutines is a data race. For cross-rank
+// aggregation, each rank calls Snapshot on its own timer set and hands the
+// immutable copy to the aggregator, which Merges the snapshots into a fresh
+// Timers it owns; the live per-rank timer sets are never shared.
 type Timers struct {
 	regions map[string]*Region
 	stack   []*frame
 	now     func() time.Time
+	err     error // first Start/Stop misuse (sticky; see Err)
 }
 
 type frame struct {
@@ -54,14 +62,19 @@ func (t *Timers) Start(name string) {
 	t.stack = append(t.stack, &frame{r: r, start: t.now()})
 }
 
-// Stop leaves the innermost region, which must be the named one.
+// Stop leaves the innermost region, which must be the named one. A
+// mismatched or unbalanced Stop does not panic: it records a descriptive
+// sticky error (retrievable via Err) and leaves the accumulated timings
+// untouched, so a monitoring bug cannot take a production run down.
 func (t *Timers) Stop(name string) {
 	if len(t.stack) == 0 {
-		panic("perf: Stop with empty region stack: " + name)
+		t.fail(fmt.Errorf("perf: Stop(%q) with empty region stack", name))
+		return
 	}
 	f := t.stack[len(t.stack)-1]
 	if f.r.Name != name {
-		panic(fmt.Sprintf("perf: Stop(%q) does not match open region %q", name, f.r.Name))
+		t.fail(fmt.Errorf("perf: Stop(%q) does not match open region %q", name, f.r.Name))
+		return
 	}
 	t.stack = t.stack[:len(t.stack)-1]
 	d := t.now().Sub(f.start)
@@ -72,6 +85,18 @@ func (t *Timers) Stop(name string) {
 		t.stack[len(t.stack)-1].inner += d
 	}
 }
+
+// fail records the first misuse error.
+func (t *Timers) fail(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// Err returns the first Start/Stop misuse recorded, or nil. Timings
+// accumulated before the misuse remain valid; timings after it may
+// undercount the mishandled regions.
+func (t *Timers) Err() error { return t.err }
 
 // Time runs fn inside the named region.
 func (t *Timers) Time(name string, fn func()) {
@@ -115,6 +140,19 @@ func (t *Timers) Report() string {
 		fmt.Fprintf(&b, "%-32s %12s %8d %6.1f%%\n", r.Name, r.Exclusive.Round(time.Microsecond), r.Calls, pct)
 	}
 	return b.String()
+}
+
+// Snapshot returns an immutable copy of the accumulated regions, safe to
+// hand to another goroutine for cross-rank merging. The copy carries no
+// open-region stack: it is a pure accumulation record, usable only as a
+// Merge source or for reporting.
+func (t *Timers) Snapshot() *Timers {
+	cp := &Timers{regions: make(map[string]*Region, len(t.regions)), now: t.now, err: t.err}
+	for name, r := range t.regions {
+		c := *r
+		cp.regions[name] = &c
+	}
+	return cp
 }
 
 // Merge adds other's accumulations into t (for cross-rank averaging).

@@ -203,6 +203,9 @@ func (b *Block) chemSource() {
 				for n := 0; n < ns-1; n++ {
 					b.rhs[iY0+n].Add(i, j, k, species[n].W*b.wdot[n])
 				}
+				if b.collectHRR {
+					b.hrrAcc += b.mech.HeatReleaseRate(T, b.wdot) * b.cellVol(i, j, k)
+				}
 			}
 		}
 	}

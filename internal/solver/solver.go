@@ -15,6 +15,7 @@ import (
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/perf"
 	"github.com/s3dgo/s3d/internal/transport"
 )
@@ -177,6 +178,17 @@ type Block struct {
 	Timers *perf.Timers
 	Step   int
 	Time   float64
+
+	// Telemetry (see telemetry.go). Metrics may stay nil: the obs metric
+	// handles are nil-receiver safe, so the instrumented paths need no
+	// checks. StageWall holds the wall-clock seconds of each RK stage of
+	// the most recent StepOnce.
+	Metrics     *obs.Registry
+	StageWall   []float64
+	telemetryOn bool
+	collectHRR  bool         // true during the final RK stage when telemetry is on
+	hrrAcc      float64      // heat-release integral of the last step (W)
+	volW        [3][]float64 // per-axis quadrature widths (lazy, see cellVol)
 }
 
 // NewSerial builds a single-block (serial) simulation over the whole grid.

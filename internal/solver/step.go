@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"time"
+
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/deriv"
 	"github.com/s3dgo/s3d/internal/grid"
@@ -19,11 +21,26 @@ func (b *Block) Advance(nSteps int, dt float64) {
 // StepOnce advances a single time step.
 func (b *Block) StepOnce(dt float64) {
 	scheme := rk.RK46NL
+	nStages := scheme.Stages()
+	if len(b.StageWall) != nStages {
+		b.StageWall = make([]float64, nStages)
+	}
+	stepStart := time.Now()
+	stageStart := stepStart
+	rhsCall := 0
 	// Zero the 2N accumulation registers.
 	for v := 0; v < b.nvar; v++ {
 		b.dQ[v].Fill(0)
 	}
 	scheme.Drive(b.Time, dt, func(stageTime float64) {
+		stageStart = time.Now()
+		rhsCall++
+		// The heat-release integral piggybacks on the final stage's
+		// chemistry sweep (see telemetry.go).
+		b.collectHRR = b.telemetryOn && rhsCall == nStages
+		if b.collectHRR {
+			b.hrrAcc = 0
+		}
 		b.computeRHS(stageTime)
 	}, func(stage int, a, bb, _ float64) {
 		b.Timers.Start("RK_UPDATE")
@@ -41,11 +58,16 @@ func (b *Block) StepOnce(dt float64) {
 			}
 		}
 		b.Timers.Stop("RK_UPDATE")
+		b.StageWall[stage] = time.Since(stageStart).Seconds()
 	})
+	b.collectHRR = false
 	b.Step++
 	b.Time += dt
 	if fe := b.cfg.FilterEvery; fe > 0 && b.Step%fe == 0 {
 		b.ApplyFilter()
+	}
+	if b.telemetryOn {
+		b.recordStepMetrics(dt, time.Since(stepStart).Seconds())
 	}
 }
 

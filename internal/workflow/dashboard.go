@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/viz"
 )
 
@@ -33,6 +34,12 @@ type DashboardStatus struct {
 	Variables []string          `json:"variables"`
 	Images    map[string]string `json:"images"` // variable → plot path
 	Notes     map[string]string `json:"notes"`  // user annotations (§9)
+
+	// Telemetry summarises the run's step trace (dashboard/trace.jsonl,
+	// written by a driver's -trace flag) when one is present: step count,
+	// simulated time, mean wall time per step, communication volume and
+	// pario cache hit rate. Nil when no trace has been copied in.
+	Telemetry *obs.TraceSummary `json:"telemetry,omitempty"`
 }
 
 // minmaxRow is one parsed dashboard table row: step, variable, min, max.
@@ -90,6 +97,12 @@ func BuildDashboard(c *Cluster, jobs []Job) (*DashboardStatus, error) {
 		status.Variables = append(status.Variables, name)
 	}
 	sort.Strings(status.Variables)
+
+	// An observability trace dropped next to the CSV enriches the page
+	// with solver telemetry; its absence is not an error.
+	if sum, err := obs.SummarizeFile(filepath.Join(c.Dashboard, "trace.jsonl")); err == nil {
+		status.Telemetry = &sum
+	}
 
 	for _, name := range status.Variables {
 		vr := byVar[name]

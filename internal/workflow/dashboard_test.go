@@ -55,6 +55,61 @@ func TestBuildDashboard(t *testing.T) {
 	}
 }
 
+func TestDashboardTelemetrySummary(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	trace := `{"kind":"run_start","time_unix":1,"run":{"case":"liftedflame","config":{"grid":"32x24x1"}}}
+{"kind":"step","step":{"step":1,"time":1e-7,"dt":1e-7,"cfl":0.4,"wall_sec":0.5,"stage_wall_sec":[0.1],"t_min":300,"t_max":2100,"p_min":101000,"p_max":102000,"mass_drift":0,"heat_release":1e5,"comm":{"bytes_sent":4096,"msgs_sent":8,"bytes_recv":4096,"msgs_recv":8,"wait_sec":0.01,"coll_sec":0,"allreduces":1,"barriers":0},"pario":{"cache_accesses":10,"cache_misses":2,"cache_evictions":0,"remote_forwards":0,"cache_hit_rate":0.8,"wb_queue_bytes":0,"wb_flushes":0,"wb_flush_sec":0}}}
+{"kind":"checkpoint","time_unix":2,"checkpoint":{"step":1,"path":"restart-000001.sdf"}}
+{"kind":"run_done","done":{"steps":1,"sim_time":1e-7,"wall_sec":0.6,"exit_message":"completed"}}
+`
+	if err := os.WriteFile(filepath.Join(c.Dashboard, "trace.jsonl"), []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, err := BuildDashboard(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Telemetry == nil {
+		t.Fatal("trace.jsonl present but Telemetry nil")
+	}
+	if status.Telemetry.Case != "liftedflame" || status.Telemetry.Steps != 1 ||
+		status.Telemetry.CommBytes != 4096 || status.Telemetry.CacheHits != 0.8 ||
+		status.Telemetry.Checkpoints != 1 || !status.Telemetry.Done {
+		t.Fatalf("bad summary: %+v", status.Telemetry)
+	}
+	// The summary survives the status.json round trip.
+	data, err := os.ReadFile(filepath.Join(c.Dashboard, "status.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DashboardStatus
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Telemetry == nil || got.Telemetry.TMax != 2100 {
+		t.Fatalf("telemetry lost in status.json: %+v", got.Telemetry)
+	}
+}
+
+func TestDashboardWithoutTraceOmitsTelemetry(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	status, err := BuildDashboard(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Telemetry != nil {
+		t.Fatalf("no trace file, yet Telemetry = %+v", status.Telemetry)
+	}
+}
+
 func TestDashboardAnnotation(t *testing.T) {
 	c, err := NewCluster(t.TempDir())
 	if err != nil {

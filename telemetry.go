@@ -1,0 +1,263 @@
+package s3d
+
+// Telemetry: the public face of the observability layer (internal/obs).
+// A Probe attaches to a Simulation and, for every solver step, emits one
+// structured StepEvent — step index, dt, CFL, per-RK-stage wall times,
+// temperature/pressure extrema, total-mass drift, heat-release integral
+// and the communication and parallel-I/O counters — to any combination of
+// a JSONL trace, a live HTTP monitor and a human-readable status stream.
+// The probe samples only what the solver already computed (see
+// internal/solver/telemetry.go), so tracing stays within a few percent of
+// an uninstrumented run.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/perf"
+)
+
+// TelemetryOptions configures a Probe. Every sink is optional; a Probe
+// with no sinks still accumulates the metrics registry and the physics
+// diagnostics, retrievable via Metrics and LastStep.
+type TelemetryOptions struct {
+	// Case names the run in the run_start record (default "s3d").
+	Case string
+	// Config is merged into the run_start manifest on top of the
+	// simulation's own configuration summary.
+	Config map[string]string
+
+	// Trace receives one JSONL record per step plus run-lifecycle records.
+	// The caller owns its lifetime; Probe.Close flushes but never closes it.
+	Trace *obs.Trace
+	// MonitorAddr, when non-empty, starts an HTTP monitor on the address
+	// (":0" selects an ephemeral port; see Probe.MonitorAddr) serving
+	// /metrics, /status and /healthz live.
+	MonitorAddr string
+	// Status, when non-nil, receives a human-readable line every
+	// StatusEvery steps (default every 10).
+	Status      io.Writer
+	StatusEvery int
+
+	// CFLRefreshEvery is the cadence, in steps, at which the acoustic
+	// stability limit behind the reported CFL is re-evaluated (the sweep
+	// costs a full sound-speed pass; default 20, minimum 1).
+	CFLRefreshEvery int
+
+	// Pario, when non-nil, is polled each step for parallel-I/O counters
+	// (wire it to CacheClient.Stats or WriteBehindClient.Stats).
+	Pario func() obs.ParioStats
+}
+
+// Probe threads per-step observability through a Simulation.
+// It is owned by the goroutine driving the simulation; only the metrics
+// registry and the monitor it exposes are safe for concurrent readers.
+type Probe struct {
+	sim *Simulation
+	opt TelemetryOptions
+	reg *obs.Registry
+	mon *obs.Monitor
+
+	mass0      float64 // interior mass at attach time (drift reference)
+	acousticDt float64 // most recently evaluated stable dt
+	cflNumber  float64
+	start      time.Time
+	last       obs.StepEvent
+}
+
+// StartTelemetry attaches a Probe to the simulation, emits the run_start
+// record and (when configured) starts the live monitor. Call Close when
+// the run finishes to emit run_done.
+func (s *Simulation) StartTelemetry(opt TelemetryOptions) (*Probe, error) {
+	if opt.Case == "" {
+		opt.Case = "s3d"
+	}
+	if opt.StatusEvery <= 0 {
+		opt.StatusEvery = 10
+	}
+	if opt.CFLRefreshEvery <= 0 {
+		opt.CFLRefreshEvery = 20
+	}
+	p := &Probe{
+		sim:       s,
+		opt:       opt,
+		reg:       obs.NewRegistry(),
+		cflNumber: s.cfg.CFL,
+		start:     time.Now(),
+	}
+	if p.cflNumber <= 0 {
+		p.cflNumber = 0.8 // the solver's default acoustic CFL number
+	}
+	s.blk.EnableTelemetry(p.reg)
+	p.mass0 = s.blk.TotalMass()
+	p.acousticDt = s.blk.AcousticDt()
+
+	manifest := s.configManifest()
+	for k, v := range opt.Config {
+		manifest[k] = v
+	}
+	if opt.Trace != nil {
+		opt.Trace.RunStart(opt.Case, manifest)
+	}
+	if opt.MonitorAddr != "" {
+		mon, err := obs.StartMonitor(opt.MonitorAddr, p.reg)
+		if err != nil {
+			return nil, err
+		}
+		mon.SetRun(obs.NewRunInfo(opt.Case, manifest))
+		p.mon = mon
+	}
+	return p, nil
+}
+
+// Metrics returns the probe's registry (live; safe for concurrent reads).
+func (p *Probe) Metrics() *obs.Registry { return p.reg }
+
+// MonitorAddr returns the bound monitor address, or "" when no monitor
+// was requested.
+func (p *Probe) MonitorAddr() string {
+	if p.mon == nil {
+		return ""
+	}
+	return p.mon.Addr()
+}
+
+// LastStep returns the most recently emitted step event.
+func (p *Probe) LastStep() obs.StepEvent { return p.last }
+
+// Advance integrates n steps of size dt, emitting one step record each.
+func (p *Probe) Advance(n int, dt float64) {
+	blk := p.sim.blk
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		blk.StepOnce(dt)
+		p.observe(dt, time.Since(t0).Seconds())
+	}
+	blk.RefreshPrimitives()
+}
+
+// observe assembles and dispatches the record for the step just taken.
+func (p *Probe) observe(dt, wall float64) {
+	blk := p.sim.blk
+	if (blk.Step-1)%p.opt.CFLRefreshEvery == 0 {
+		p.acousticDt = blk.AcousticDt()
+	}
+	tMin, tMax := blk.MinMaxT()
+	pMin, pMax := blk.MinMaxP()
+	ev := obs.StepEvent{
+		Step:         blk.Step,
+		Time:         blk.Time,
+		Dt:           dt,
+		CFL:          p.cflNumber * dt / p.acousticDt,
+		WallSec:      wall,
+		StageWallSec: append([]float64(nil), blk.StageWall...),
+		TMin:         tMin,
+		TMax:         tMax,
+		PMin:         pMin,
+		PMax:         pMax,
+		MassDrift:    (blk.TotalMass() - p.mass0) / p.mass0,
+		HeatRelease:  blk.HeatRelease(),
+		Comm:         commToObs(blk.CommStats()),
+	}
+	if p.opt.Pario != nil {
+		ev.Pario = p.opt.Pario()
+	}
+	p.last = ev
+
+	p.reg.Gauge("solver.cfl").Set(ev.CFL)
+	p.reg.Gauge("solver.mass_drift").Set(ev.MassDrift)
+	p.reg.Gauge("comm.bytes_sent").Set(float64(ev.Comm.BytesSent))
+	p.reg.Gauge("comm.wait_sec").Set(ev.Comm.WaitSec)
+	p.reg.Gauge("pario.cache_hit_rate").Set(ev.Pario.CacheHitRate)
+
+	if p.opt.Trace != nil {
+		p.opt.Trace.Step(ev)
+	}
+	if p.mon != nil {
+		p.mon.Observe(ev)
+	}
+	if p.opt.Status != nil && blk.Step%p.opt.StatusEvery == 0 {
+		fmt.Fprintln(p.opt.Status, ev.StatusLine())
+	}
+}
+
+// Checkpoint emits a checkpoint record for a restart file just written.
+func (p *Probe) Checkpoint(path string) {
+	if p.opt.Trace != nil {
+		p.opt.Trace.Checkpoint(p.sim.blk.Step, path)
+	}
+}
+
+// Close emits the run_done record (with the final metrics snapshot and a
+// figure-2-style perf report) and shuts the monitor down. The trace writer
+// is flushed but left open for the caller.
+func (p *Probe) Close(exitMessage string) error {
+	if p.opt.Trace != nil {
+		p.opt.Trace.RunDone(obs.RunSummary{
+			Steps:       p.sim.blk.Step,
+			SimTime:     p.sim.blk.Time,
+			WallSec:     time.Since(p.start).Seconds(),
+			Metrics:     p.reg.Snapshot(),
+			PerfReport:  p.sim.blk.Timers.Report(),
+			ExitMessage: exitMessage,
+		})
+		if err := p.opt.Trace.Flush(); err != nil {
+			return err
+		}
+	}
+	if p.mon != nil {
+		return p.mon.Close()
+	}
+	return nil
+}
+
+// commToObs converts the communication layer's counters to the trace
+// schema.
+func commToObs(s comm.RankStats) obs.CommStats {
+	return obs.CommStats{
+		BytesSent:  s.BytesSent,
+		MsgsSent:   s.MsgsSent,
+		BytesRecv:  s.BytesRecv,
+		MsgsRecv:   s.MsgsRecv,
+		WaitSec:    s.WaitSec,
+		CollSec:    s.CollSec,
+		Allreduces: s.Allreduces,
+		Barriers:   s.Barriers,
+	}
+}
+
+// StableDtGlobal returns the acoustic-CFL stable time step reduced across
+// all ranks of a decomposed run (identical to StableDt for serial runs).
+// Collective: every rank must call it at the same point.
+func (s *Simulation) StableDtGlobal() float64 {
+	s.blk.RefreshPrimitives()
+	return s.blk.GlobalDt()
+}
+
+// PerfTimers returns the simulation's per-region timer set (the TAU-style
+// breakdown of paper figure 2). For cross-rank aggregation take Snapshot
+// on each rank and Merge into a fresh aggregator-owned Timers.
+func (s *Simulation) PerfTimers() *perf.Timers { return s.blk.Timers }
+
+// configManifest flattens the simulation configuration for run_start.
+func (s *Simulation) configManifest() map[string]string {
+	c := s.cfg
+	m := map[string]string{
+		"mechanism":    c.Mechanism.chem.Name,
+		"grid":         fmt.Sprintf("%dx%dx%d", c.Grid.Nx, c.Grid.Ny, c.Grid.Nz),
+		"extent_m":     fmt.Sprintf("%gx%gx%g", c.Grid.Lx, c.Grid.Ly, c.Grid.Lz),
+		"pressure_pa":  fmt.Sprintf("%g", c.Pressure),
+		"filter_every": fmt.Sprintf("%d", c.FilterEvery),
+		"cfl":          fmt.Sprintf("%g", c.CFL),
+	}
+	if c.ChemistryOff {
+		m["chemistry"] = "off"
+	}
+	if c.Grid.StretchY {
+		m["stretch_y"] = "on"
+	}
+	return m
+}
