@@ -25,6 +25,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/pario"
 	"github.com/s3dgo/s3d/internal/perf"
 	"github.com/s3dgo/s3d/internal/sdf"
@@ -452,6 +454,82 @@ func BenchmarkObsOverhead(b *testing.B) {
 				overhead, off/measure*1e3, on/measure*1e3)
 		}
 	}
+}
+
+// --- Node-level parallel execution (internal/par) ---
+
+// rhsBlock builds a single-rank reacting 32³ H2/air box on a dedicated pool
+// so BenchmarkRHSWorkers times one full right-hand-side evaluation — the
+// unit of work an RK stage schedules across the worker pool.
+func rhsBlock(b *testing.B, pool *par.Pool) *solver.Block {
+	b.Helper()
+	mech := chem.H2Air()
+	cfg := &solver.Config{
+		Mech:  mech,
+		Trans: transport.MustNew(mech.Set),
+		Grid:  grid.New(grid.Spec{Nx: 32, Ny: 32, Nz: 32, Lx: 0.008, Ly: 0.008, Lz: 0.008}),
+		PInf:  101325,
+		Pool:  pool,
+	}
+	blk, err := solver.NewSerial(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iH2 := mech.Set.Index("H2")
+	iO2 := mech.Set.Index("O2")
+	iN2 := mech.Set.Index("N2")
+	blk.SetState(func(x, y, z float64, s *solver.InflowState) {
+		s.U = 3 * math.Sin(2*math.Pi*x/0.008)
+		s.V = 2 * math.Cos(2*math.Pi*y/0.008)
+		r2 := (x-0.004)*(x-0.004) + (y-0.004)*(y-0.004) + (z-0.004)*(z-0.004)
+		s.T = 800 + 600*math.Exp(-r2/(0.001*0.001))
+		for i := range s.Y {
+			s.Y[i] = 0
+		}
+		s.Y[iH2] = 0.02
+		s.Y[iO2] = 0.22
+		s.Y[iN2] = 0.76
+	}, nil)
+	blk.RefreshPrimitives()
+	return blk
+}
+
+// BenchmarkRHSWorkers measures the worker-pool scaling of a full RHS
+// evaluation. Solutions are bitwise identical across the sub-benchmarks
+// (the determinism contract of internal/par); only the wall time moves.
+func BenchmarkRHSWorkers(b *testing.B) {
+	counts := []int{1, 2, runtime.NumCPU()}
+	if runtime.NumCPU() <= 2 {
+		counts = counts[:2]
+	}
+	for _, n := range counts {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			pool := par.NewPool(n)
+			defer pool.Close()
+			blk := rhsBlock(b, pool)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blk.EvalRHS(0)
+			}
+			nx, ny, nz := 32, 32, 32
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(nx*ny*nz)*1e6, "us/gp")
+		})
+	}
+}
+
+// BenchmarkAssembleFluxesFused times the fused flux-assembly kernel alone:
+// one pass per tile over all gradient fields with per-worker enthalpy
+// scratch (the satellite optimisation riding on the tile refactor).
+func BenchmarkAssembleFluxesFused(b *testing.B) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	blk := rhsBlock(b, pool)
+	blk.PrepareAssembleInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.AssembleFluxesOnly()
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(32*32*32)*1e6, "us/gp")
 }
 
 // --- §2.6 numerics order ---

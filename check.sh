@@ -12,6 +12,13 @@ echo "== go vet ./..."
 go vet ./...
 
 echo "== go test -race ./..."
-go test -race ./...
+go test -race -timeout 45m ./...
+
+# Re-run the execution layer and the solver with a forced multi-worker
+# default pool: on small CI machines NumCPU would otherwise select the
+# single-worker inline path and the tiled kernels would never see real
+# concurrency (see TestMain in internal/solver/par_test.go).
+echo "== S3D_WORKERS=4 go test -race ./internal/par ./internal/solver"
+S3D_WORKERS=4 go test -race -timeout 45m ./internal/par ./internal/solver
 
 echo "CHECK OK"

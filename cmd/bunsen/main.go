@@ -47,8 +47,10 @@ func main() {
 	outDir := flag.String("out", "out_bunsen", "output directory")
 	tracePath := flag.String("trace", "", "write per-case JSONL step traces (case letter inserted before the extension)")
 	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP while a case runs (e.g. :8080)")
+	workers := flag.Int("workers", 0, "kernel worker-pool size (0: all CPUs)")
 	flag.Parse()
 
+	s3d.SetWorkers(*workers)
 	all := !*table1 && !*surface && !*gradc
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)

@@ -35,8 +35,10 @@ func main() {
 	scatter := flag.Bool("scatter", true, "write figure-11 scatter/conditional data")
 	tracePath := flag.String("trace", "", "write a JSONL step trace to this file")
 	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :8080)")
+	workers := flag.Int("workers", 0, "kernel worker-pool size (0: all CPUs)")
 	flag.Parse()
 
+	s3d.SetWorkers(*workers)
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}

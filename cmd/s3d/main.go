@@ -40,8 +40,10 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL step trace to this file")
 	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :8080)")
 	perfReport := flag.Bool("perf-report", false, "print the per-region timer breakdown at exit")
+	workers := flag.Int("workers", 0, "kernel worker-pool size, shared across in-process ranks (0: all CPUs)")
 	flag.Parse()
 
+	s3d.SetWorkers(*workers)
 	prob := buildProblem(*problem, *nx, *ny, *nz)
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
@@ -128,6 +130,10 @@ func main() {
 	}
 	if *perfReport {
 		fmt.Printf("\nper-region timer breakdown (figure-2 style):\n%s", sim.PerfTimers().Report())
+		if s3d.Workers() > 1 {
+			fmt.Printf("\nworker-pool busy time per kernel (%d workers):\n%s",
+				s3d.Workers(), sim.PoolPerfTimers().Report())
+		}
 	}
 }
 
@@ -194,6 +200,7 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 	// timer snapshot to the aggregate report.
 	var mu sync.Mutex
 	agg := perf.NewTimers()
+	var poolAgg *perf.Timers
 	nRanks := dims[0] * dims[1] * dims[2]
 	err := s3d.RunDecomposed(prob.Config, dims, func(r *s3d.RankSim) {
 		r.SetInitial(prob.Initial, prob.InitPressure)
@@ -221,6 +228,11 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 		if perfReport {
 			mu.Lock()
 			agg.Merge(r.PerfTimers().Snapshot())
+			if poolAgg == nil {
+				// The pool is process-wide, so one snapshot (taken after the
+				// ranks finish stepping) covers every rank's tiles.
+				poolAgg = r.PoolPerfTimers()
+			}
 			mu.Unlock()
 		}
 	})
@@ -229,6 +241,10 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 	}
 	if perfReport {
 		fmt.Printf("\nper-region timer breakdown aggregated over %d ranks:\n%s", nRanks, agg.Report())
+		if s3d.Workers() > 1 && poolAgg != nil {
+			fmt.Printf("\nworker-pool busy time per kernel (%d workers shared by %d ranks):\n%s",
+				s3d.Workers(), nRanks, poolAgg.Report())
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ package chem
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/s3dgo/s3d/internal/thermo"
 )
@@ -80,6 +81,18 @@ type Reaction struct {
 	Duplicate bool
 
 	dNu int // Σν_products − Σν_reactants, for Kc
+	// effList is Eff flattened in ascending species order, derived in
+	// NewMechanism. The hot loop sums collision efficiencies from this
+	// slice, never from the map: map iteration order is randomized per run,
+	// which would make the third-body concentration — and hence the whole
+	// solution — differ in the last bit between otherwise identical runs.
+	effList []SpecCoefF
+}
+
+// SpecCoefF is one species' real-valued coefficient (collision efficiency).
+type SpecCoefF struct {
+	Index int
+	C     float64
 }
 
 // Mechanism is a reaction mechanism bound to a thermodynamic species set.
@@ -106,6 +119,13 @@ func NewMechanism(name string, set *thermo.Set, reactions []*Reaction) *Mechanis
 		for _, rc := range r.Reactants {
 			r.dNu -= rc.Nu
 		}
+		r.effList = r.effList[:0]
+		for idx, e := range r.Eff {
+			r.effList = append(r.effList, SpecCoefF{Index: idx, C: e})
+		}
+		sort.Slice(r.effList, func(a, b int) bool {
+			return r.effList[a].Index < r.effList[b].Index
+		})
 	}
 	m := &Mechanism{
 		Name:      name,
@@ -169,8 +189,8 @@ func (m *Mechanism) ProductionRates(T float64, C, wdot []float64) {
 			for i := range C {
 				cm += C[i]
 			}
-			for i, e := range r.Eff {
-				cm += (e - 1) * C[i]
+			for _, e := range r.effList {
+				cm += (e.C - 1) * C[e.Index]
 			}
 			if cm < 0 {
 				cm = 0

@@ -1,0 +1,157 @@
+package deriv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/grid"
+)
+
+// randomField fills interior and ghosts with reproducible noise.
+func randomField(nx, ny, nz int, seed int64) *grid.Field3 {
+	f := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func metric(n int) []float64 {
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = 1.7 + 0.01*float64(i)
+	}
+	return m
+}
+
+// TestDiffRangeTilesMatchDiff: covering the interior with tiles along every
+// axis — including the derivative axis itself — must reproduce a full Diff
+// bitwise, for every axis and boundary-closure combination.
+func TestDiffRangeTilesMatchDiff(t *testing.T) {
+	nx, ny, nz := 12, 10, 9
+	f := randomField(nx, ny, nz, 1)
+	dims := [3]int{nx, ny, nz}
+	for _, a := range []grid.Axis{grid.X, grid.Y, grid.Z} {
+		met := metric(dims[int(a)])
+		for _, bc := range [][2]BC{{UseGhosts, UseGhosts}, {OneSided, OneSided}, {UseGhosts, OneSided}} {
+			want := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+			Diff(want, f, a, met, bc[0], bc[1])
+			for tileAx := 0; tileAx < 3; tileAx++ {
+				got := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+				for c := 0; c < dims[tileAx]; c++ {
+					lo, hi := [3]int{0, 0, 0}, dims
+					lo[tileAx], hi[tileAx] = c, c+1
+					DiffRange(got, f, a, met, bc[0], bc[1], lo, hi, OpSet)
+				}
+				for k := 0; k < nz; k++ {
+					for j := 0; j < ny; j++ {
+						for i := 0; i < nx; i++ {
+							w, g := want.At(i, j, k), got.At(i, j, k)
+							if math.Float64bits(w) != math.Float64bits(g) {
+								t.Fatalf("axis %v bc %v tileAx %d: (%d,%d,%d) = %x want %x",
+									a, bc, tileAx, i, j, k, g, w)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDiffRangeAddMatchesSetPlusAXPY: OpAdd must equal an OpSet into scratch
+// followed by dst += scratch, bitwise.
+func TestDiffRangeAddMatchesSetPlusAXPY(t *testing.T) {
+	nx, ny, nz := 8, 7, 6
+	f := randomField(nx, ny, nz, 2)
+	met := metric(nx)
+	box := [2][3]int{{0, 0, 0}, {nx, ny, nz}}
+
+	acc := randomField(nx, ny, nz, 3)
+	ref := acc.Clone()
+
+	DiffRange(acc, f, grid.X, met, UseGhosts, UseGhosts, box[0], box[1], OpAdd)
+
+	scratch := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+	DiffRange(scratch, f, grid.X, met, UseGhosts, UseGhosts, box[0], box[1], OpSet)
+	ref.AXPYRange(1, scratch, box[0], box[1])
+
+	for i := range acc.Data {
+		if math.Float64bits(acc.Data[i]) != math.Float64bits(ref.Data[i]) {
+			t.Fatalf("OpAdd diverges from Set+AXPY at flat %d", i)
+		}
+	}
+}
+
+// TestDiffRangeDegenerateAxis: derivative along a unit axis is zero under
+// OpSet and a no-op under OpAdd.
+func TestDiffRangeDegenerateAxis(t *testing.T) {
+	f := randomField(6, 5, 1, 4)
+	box := [2][3]int{{0, 0, 0}, {6, 5, 1}}
+	dst := randomField(6, 5, 1, 5)
+	DiffRange(dst, f, grid.Z, []float64{1}, UseGhosts, UseGhosts, box[0], box[1], OpSet)
+	for k := 0; k < 1; k++ {
+		for j := 0; j < 5; j++ {
+			for i := 0; i < 6; i++ {
+				if dst.At(i, j, k) != 0 {
+					t.Fatal("OpSet on unit axis must zero the box")
+				}
+			}
+		}
+	}
+	dst2 := randomField(6, 5, 1, 6)
+	ref := dst2.Clone()
+	DiffRange(dst2, f, grid.Z, []float64{1}, UseGhosts, UseGhosts, box[0], box[1], OpAdd)
+	for i := range dst2.Data {
+		if dst2.Data[i] != ref.Data[i] {
+			t.Fatal("OpAdd on unit axis must leave dst unchanged")
+		}
+	}
+}
+
+// TestFilterRangeTilesMatchFilter mirrors the Diff test for the filter.
+func TestFilterRangeTilesMatchFilter(t *testing.T) {
+	nx, ny, nz := 13, 11, 12
+	f := randomField(nx, ny, nz, 7)
+	dims := [3]int{nx, ny, nz}
+	for _, a := range []grid.Axis{grid.X, grid.Y, grid.Z} {
+		for _, bc := range [][2]BC{{UseGhosts, UseGhosts}, {OneSided, OneSided}} {
+			want := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+			Filter(want, f, a, 0.5, bc[0], bc[1])
+			for tileAx := 0; tileAx < 3; tileAx++ {
+				got := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+				for c := 0; c < dims[tileAx]; c++ {
+					lo, hi := [3]int{0, 0, 0}, dims
+					lo[tileAx], hi[tileAx] = c, c+1
+					FilterRange(got, f, a, 0.5, bc[0], bc[1], lo, hi, OpSet)
+				}
+				for k := 0; k < nz; k++ {
+					for j := 0; j < ny; j++ {
+						for i := 0; i < nx; i++ {
+							w, g := want.At(i, j, k), got.At(i, j, k)
+							if math.Float64bits(w) != math.Float64bits(g) {
+								t.Fatalf("axis %v bc %v tileAx %d: (%d,%d,%d) differ", a, bc, tileAx, i, j, k)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFilterRangeDegenerateAxisCopies: unit axis filter is the identity.
+func TestFilterRangeDegenerateAxisCopies(t *testing.T) {
+	f := randomField(5, 4, 1, 8)
+	dst := grid.NewField3Ghost(5, 4, 1, grid.Ghost)
+	FilterRange(dst, f, grid.Z, 1, UseGhosts, UseGhosts, [3]int{0, 0, 0}, [3]int{5, 4, 1}, OpSet)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 5; i++ {
+			if dst.At(i, j, 0) != f.At(i, j, 0) {
+				t.Fatal("unit-axis filter must copy")
+			}
+		}
+	}
+}

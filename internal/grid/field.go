@@ -88,6 +88,77 @@ func (f *Field3) Scale(a float64) {
 	}
 }
 
+// Row returns the contiguous slice of Nx values for interior row (·, j, k):
+// Row(j, k)[i] aliases At(i, j, k). The unit-stride access path for tiled
+// kernels; the slice is a view into the field's storage.
+func (f *Field3) Row(j, k int) []float64 {
+	base := f.Idx(0, j, k)
+	return f.Data[base : base+f.Nx]
+}
+
+// AXPYRange computes f += a*x over the index box [lo, hi) (exclusive),
+// addressed in interior coordinates; ghost points may be included via
+// negative indices. Sweeping the interior tile-by-tile with AXPYRange visits
+// each point exactly once in the same i-fastest order as a full-interior
+// loop, so results are independent of the tiling.
+func (f *Field3) AXPYRange(a float64, x *Field3, lo, hi [3]int) {
+	f.mustMatch(x)
+	fd, xd := f.Data, x.Data
+	n := hi[0] - lo[0]
+	for k := lo[2]; k < hi[2]; k++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			row := f.Idx(lo[0], j, k)
+			for i := 0; i < n; i++ {
+				fd[row+i] += a * xd[row+i]
+			}
+		}
+	}
+}
+
+// ScaleRange multiplies the index box [lo, hi) by a.
+func (f *Field3) ScaleRange(a float64, lo, hi [3]int) {
+	fd := f.Data
+	n := hi[0] - lo[0]
+	for k := lo[2]; k < hi[2]; k++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			row := f.Idx(lo[0], j, k)
+			for i := 0; i < n; i++ {
+				fd[row+i] *= a
+			}
+		}
+	}
+}
+
+// SumRange returns the sum over the index box [lo, hi), accumulated in the
+// same i-fastest order as SumInterior restricted to the box.
+func (f *Field3) SumRange(lo, hi [3]int) float64 {
+	fd := f.Data
+	n := hi[0] - lo[0]
+	var s float64
+	for k := lo[2]; k < hi[2]; k++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			row := f.Idx(lo[0], j, k)
+			for i := 0; i < n; i++ {
+				s += fd[row+i]
+			}
+		}
+	}
+	return s
+}
+
+// CopyRange copies the index box [lo, hi) from src (same shape required).
+func (f *Field3) CopyRange(src *Field3, lo, hi [3]int) {
+	f.mustMatch(src)
+	fd, sd := f.Data, src.Data
+	n := hi[0] - lo[0]
+	for k := lo[2]; k < hi[2]; k++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			row := f.Idx(lo[0], j, k)
+			copy(fd[row:row+n], sd[row:row+n])
+		}
+	}
+}
+
 // Each calls fn for every interior point.
 func (f *Field3) Each(fn func(i, j, k int, v float64)) {
 	for k := 0; k < f.Nz; k++ {

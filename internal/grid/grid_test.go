@@ -232,3 +232,74 @@ func TestCloneDeepCopies(t *testing.T) {
 		t.Fatal("Clone shares storage")
 	}
 }
+
+func TestRangeOpsMatchFullOps(t *testing.T) {
+	fill := func() (*Field3, *Field3) {
+		f := NewField3Ghost(7, 5, 4, 2)
+		x := NewField3Ghost(7, 5, 4, 2)
+		for i := range f.Data {
+			f.Data[i] = float64(i%13) * 0.5
+			x.Data[i] = float64(i%7) * 1.25
+		}
+		return f, x
+	}
+	interior := [2][3]int{{0, 0, 0}, {7, 5, 4}}
+
+	// Tiling the interior along k must reproduce the single full-box sweep
+	// bitwise, for every ranged op.
+	fA, xA := fill()
+	fB, xB := fill()
+	fA.AXPYRange(1.0/3, xA, interior[0], interior[1])
+	for k := 0; k < 4; k++ {
+		fB.AXPYRange(1.0/3, xB, [3]int{0, 0, k}, [3]int{7, 5, k + 1})
+	}
+	for i := range fA.Data {
+		if fA.Data[i] != fB.Data[i] {
+			t.Fatalf("AXPYRange tiled != whole at %d", i)
+		}
+	}
+
+	fA.ScaleRange(0.7, interior[0], interior[1])
+	for k := 0; k < 4; k++ {
+		fB.ScaleRange(0.7, [3]int{0, 0, k}, [3]int{7, 5, k + 1})
+	}
+	for i := range fA.Data {
+		if fA.Data[i] != fB.Data[i] {
+			t.Fatalf("ScaleRange tiled != whole at %d", i)
+		}
+	}
+
+	if got, want := fA.SumRange(interior[0], interior[1]), fA.SumInterior(); got != want {
+		t.Fatalf("SumRange(interior) = %v, SumInterior = %v", got, want)
+	}
+
+	dst := NewField3Ghost(7, 5, 4, 2)
+	for k := 0; k < 4; k++ {
+		dst.CopyRange(fA, [3]int{0, 0, k}, [3]int{7, 5, k + 1})
+	}
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 5; j++ {
+			for i := 0; i < 7; i++ {
+				if dst.At(i, j, k) != fA.At(i, j, k) {
+					t.Fatalf("CopyRange missed (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	// CopyRange must not touch ghosts outside the box.
+	if dst.At(-1, 0, 0) != 0 {
+		t.Fatal("CopyRange wrote outside the box")
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	f := NewField3Ghost(6, 3, 3, 2)
+	row := f.Row(1, 2)
+	if len(row) != 6 {
+		t.Fatalf("Row length = %d, want 6", len(row))
+	}
+	row[4] = 42
+	if f.At(4, 1, 2) != 42 {
+		t.Fatal("Row does not alias storage")
+	}
+}

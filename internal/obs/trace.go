@@ -100,6 +100,7 @@ type RunInfo struct {
 	Revision  string            `json:"revision,omitempty"`
 	Modified  bool              `json:"modified,omitempty"` // VCS tree had local edits
 	NumCPU    int               `json:"num_cpu"`
+	Workers   int               `json:"workers,omitempty"` // kernel worker-pool size
 	Config    map[string]string `json:"config"` // flattened config manifest
 }
 
@@ -170,6 +171,13 @@ func (t *Trace) emit(rec Record) {
 // RunStart emits the run_start record.
 func (t *Trace) RunStart(caseName string, config map[string]string) {
 	t.emit(Record{Kind: KindRunStart, Run: NewRunInfo(caseName, config)})
+}
+
+// RunStartInfo emits the run_start record from a caller-built RunInfo (for
+// callers that stamp fields NewRunInfo cannot know, like the worker-pool
+// size — obs cannot import the execution layer, which imports obs).
+func (t *Trace) RunStartInfo(info *RunInfo) {
+	t.emit(Record{Kind: KindRunStart, Run: info})
 }
 
 // Step emits one step record.

@@ -1,0 +1,224 @@
+// Package par is the node-level parallel execution layer: a process-wide
+// worker pool plus per-block execution plans that decompose a kernel's
+// index space into plane tiles and run kernel closures over them.
+//
+// It reproduces, in Go, the node-level half of the paper's §3 optimisation
+// story: once the dominant S3D kernels (reaction rates, diffusive fluxes,
+// derivative sweeps) are restructured for locality, the remaining wall is
+// keeping every core of the node busy on them. The pool is shared by all
+// in-process ranks of a decomposed run, so a fixed worker budget is divided
+// fairly across ranks exactly as OpenMP threads were divided across MPI
+// ranks in the hybrid experiments of figure 3.
+//
+// Determinism contract: a Plan's tile decomposition depends only on the
+// index-space shape, never on the worker count, and reductions accumulate
+// per-tile partial sums into ordered slots that are combined in tile order.
+// Solutions are therefore bitwise identical for any pool size, which keeps
+// restart files, regression baselines and the paper-reproduction numbers
+// stable whatever hardware the run lands on.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/perf"
+)
+
+// task is one tile (or item) of a parallel region, handed to a worker.
+type task struct {
+	label string
+	fn    func(t Tile, worker int)
+	tile  Tile
+	wg    *sync.WaitGroup
+}
+
+// Pool is a fixed set of worker goroutines executing kernel tiles. One
+// process-wide pool (see Default) is shared by every in-process rank; tests
+// and benchmarks may build dedicated pools with NewPool and must Close them.
+//
+// A Pool with a single worker never schedules: plans execute tiles inline
+// on the calling goroutine, preserving the serial fast path.
+type Pool struct {
+	n      int
+	tasks  chan task
+	wg     sync.WaitGroup
+	busy   atomic.Int64
+	closed atomic.Bool
+
+	// Metric handles are attached after construction (AttachMetrics) and
+	// read by workers, hence the atomic pointers. Nil handles are skipped.
+	busyG  atomic.Pointer[obs.Gauge]
+	tilesC atomic.Pointer[obs.Counter]
+
+	// Per-worker TAU-style timers: each worker accumulates the busy time of
+	// every kernel label it executes into its own perf.Timers (the
+	// pool-aware path of the figure-2 instrumentation). The per-worker
+	// mutex lets PerfSnapshot read a consistent copy without quiescing the
+	// pool.
+	timers []*workerTimer
+}
+
+type workerTimer struct {
+	mu sync.Mutex
+	t  *perf.Timers
+}
+
+// NewPool builds a dedicated pool with n workers (n < 1 selects one).
+// Callers own its lifetime and should Close it when done; the process-wide
+// pool from Default needs no Close.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{n: n}
+	p.timers = make([]*workerTimer, n)
+	for i := range p.timers {
+		p.timers[i] = &workerTimer{t: perf.NewTimers()}
+	}
+	if n > 1 {
+		// Buffered so submitters stream tiles without a rendezvous per tile.
+		p.tasks = make(chan task, 4*n)
+		p.wg.Add(n)
+		for i := 0; i < n; i++ {
+			go p.worker(i)
+		}
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.n }
+
+// Busy returns the number of workers currently executing a tile.
+func (p *Pool) Busy() int { return int(p.busy.Load()) }
+
+// Close shuts the workers down after the queued tiles drain. Only dedicated
+// pools need closing; closing twice is a no-op. Close must not race with
+// in-flight plan executions.
+func (p *Pool) Close() {
+	if p.n <= 1 || !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// AttachMetrics exports the pool's utilization to a registry:
+//
+//	par.workers       gauge    pool size
+//	par.workers_busy  gauge    workers executing a tile right now
+//	par.tiles_total   counter  tiles executed by pool workers
+//
+// Safe to call more than once (ranks sharing a pool attach the same
+// registry); the last registry wins.
+func (p *Pool) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("par.workers").Set(float64(p.n))
+	p.busyG.Store(reg.Gauge("par.workers_busy"))
+	p.tilesC.Store(reg.Counter("par.tiles_total"))
+}
+
+// PerfSnapshot merges the per-worker kernel timers into a fresh Timers
+// owned by the caller: the per-kernel busy time accumulated across all
+// workers (region names are the kernel labels passed to Plan runs).
+// Comparing a region's busy time against the owner's wall-clock timer for
+// the same kernel gives its parallel efficiency.
+func (p *Pool) PerfSnapshot() *perf.Timers {
+	merged := perf.NewTimers()
+	for _, wt := range p.timers {
+		wt.mu.Lock()
+		merged.Merge(wt.t.Snapshot())
+		wt.mu.Unlock()
+	}
+	return merged
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	wt := p.timers[id]
+	for t := range p.tasks {
+		nb := p.busy.Add(1)
+		if g := p.busyG.Load(); g != nil {
+			g.Set(float64(nb))
+		}
+		start := time.Now()
+		t.fn(t.tile, id)
+		d := time.Since(start)
+		wt.mu.Lock()
+		wt.t.Observe(t.label, d, 1)
+		wt.mu.Unlock()
+		nb = p.busy.Add(-1)
+		if g := p.busyG.Load(); g != nil {
+			g.Set(float64(nb))
+		}
+		if c := p.tilesC.Load(); c != nil {
+			c.Inc()
+		}
+		t.wg.Done()
+	}
+}
+
+// submit enqueues one tile; workers drain the channel concurrently.
+func (p *Pool) submit(t task) { p.tasks <- t }
+
+// The process-wide default pool, built lazily on first use so drivers can
+// size it (SetDefaultWorkers) before any simulation starts.
+var (
+	defMu   sync.Mutex
+	defPool *Pool
+	defSize int // 0 = runtime.NumCPU()
+)
+
+// Default returns the process-wide pool, creating it on first use with
+// SetDefaultWorkers's size (default runtime.NumCPU()). All in-process ranks
+// of a decomposed run share it, so the worker budget is divided fairly
+// across ranks.
+func Default() *Pool {
+	defMu.Lock()
+	defer defMu.Unlock()
+	if defPool == nil {
+		size := defSize
+		if size == 0 {
+			size = runtime.NumCPU()
+		}
+		defPool = NewPool(size)
+	}
+	return defPool
+}
+
+// SetDefaultWorkers sizes the process-wide pool (n < 1 restores the
+// runtime.NumCPU() default). Call it before simulations start: an existing
+// default pool is closed and replaced, which must not race with running
+// plans.
+func SetDefaultWorkers(n int) {
+	defMu.Lock()
+	defer defMu.Unlock()
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	defSize = n
+	if defPool != nil && defPool.n != n {
+		defPool.Close()
+		defPool = nil
+	}
+}
+
+// DefaultWorkers returns the size the default pool has (or will have when
+// first used).
+func DefaultWorkers() int {
+	defMu.Lock()
+	defer defMu.Unlock()
+	if defPool != nil {
+		return defPool.n
+	}
+	if defSize > 0 {
+		return defSize
+	}
+	return runtime.NumCPU()
+}

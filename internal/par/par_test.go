@@ -1,0 +1,222 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/obs"
+)
+
+// TestRunCoversBox checks every point of the range is visited exactly once,
+// for a spread of shapes (3-D, quasi-2D, degenerate) and pool sizes.
+func TestRunCoversBox(t *testing.T) {
+	shapes := []Range{
+		Interior(8, 6, 5),
+		Interior(16, 1, 1),
+		Interior(4, 9, 1),
+		Box([3]int{-5, -5, -5}, [3]int{9, 7, 6}), // ghost-extended
+		Interior(1, 1, 1),
+	}
+	for _, workers := range []int{1, 3, 8} {
+		pool := NewPool(workers)
+		pl := NewPlan(pool)
+		for _, r := range shapes {
+			nx, ny, nz := r.Ext(0), r.Ext(1), r.Ext(2)
+			seen := make([]int32, nx*ny*nz)
+			pl.Run("cover", r, func(tl Tile, w int) {
+				if w < 0 || w >= workers {
+					t.Errorf("worker index %d out of range [0,%d)", w, workers)
+				}
+				for k := tl.Lo[2]; k < tl.Hi[2]; k++ {
+					for j := tl.Lo[1]; j < tl.Hi[1]; j++ {
+						for i := tl.Lo[0]; i < tl.Hi[0]; i++ {
+							idx := ((k-r.Lo[2])*ny+(j-r.Lo[1]))*nx + (i - r.Lo[0])
+							atomic.AddInt32(&seen[idx], 1)
+						}
+					}
+				}
+			})
+			for idx, n := range seen {
+				if n != 1 {
+					t.Fatalf("workers=%d shape=%v: point %d visited %d times", workers, r, idx, n)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestRunFrozenNeverSplitsAxis verifies tiles span the frozen axis fully.
+func TestRunFrozenNeverSplitsAxis(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	pl := NewPlan(pool)
+	r := Interior(6, 7, 8)
+	for frozen := 0; frozen < 3; frozen++ {
+		pl.RunFrozen("frozen", r, frozen, func(tl Tile, _ int) {
+			if tl.Lo[frozen] != r.Lo[frozen] || tl.Hi[frozen] != r.Hi[frozen] {
+				t.Errorf("frozen axis %d split: tile %v", frozen, tl.Range)
+			}
+		})
+	}
+}
+
+// TestRunReduceDeterministic: the reduction over a fixed box must be
+// bitwise identical for every pool size — the property the solver's
+// heat-release integral depends on.
+func TestRunReduceDeterministic(t *testing.T) {
+	r := Interior(17, 13, 11)
+	vals := make([]float64, 17*13*11)
+	rng := rand.New(rand.NewSource(42))
+	for i := range vals {
+		// Wildly varying magnitudes make float addition order visible.
+		vals[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+	sum := func(workers int) float64 {
+		pool := NewPool(workers)
+		defer pool.Close()
+		pl := NewPlan(pool)
+		return pl.RunReduce("reduce", r, func(tl Tile, _ int) float64 {
+			var s float64
+			for k := tl.Lo[2]; k < tl.Hi[2]; k++ {
+				for j := tl.Lo[1]; j < tl.Hi[1]; j++ {
+					for i := tl.Lo[0]; i < tl.Hi[0]; i++ {
+						s += vals[(k*13+j)*17+i]
+					}
+				}
+			}
+			return s
+		})
+	}
+	want := sum(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := sum(w); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("workers=%d: sum %x != workers=1 sum %x", w, got, want)
+		}
+	}
+}
+
+// TestRunItems covers the per-field decomposition.
+func TestRunItems(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		pool := NewPool(workers)
+		seen := make([]int32, 23)
+		NewPlan(pool).RunItems("items", len(seen), func(item, _ int) {
+			atomic.AddInt32(&seen[item], 1)
+		})
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, n)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestConcurrentPlans: several ranks sharing one pool, as in a decomposed
+// run. Each plan must see only its own tiles.
+func TestConcurrentPlans(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	const ranks = 6
+	done := make(chan [2]float64, ranks)
+	for rk := 0; rk < ranks; rk++ {
+		go func(rk int) {
+			pl := NewPlan(pool)
+			r := Interior(5, 5, 9)
+			got := pl.RunReduce("rank", r, func(tl Tile, _ int) float64 {
+				var s float64
+				for k := tl.Lo[2]; k < tl.Hi[2]; k++ {
+					s += float64(rk + 1)
+				}
+				return s * 25 // 5×5 plane worth per k
+			})
+			done <- [2]float64{float64(rk), got}
+		}(rk)
+	}
+	for i := 0; i < ranks; i++ {
+		res := <-done
+		want := (res[0] + 1) * 9 * 25
+		if res[1] != want {
+			t.Errorf("rank %.0f: got %g want %g", res[0], res[1], want)
+		}
+	}
+}
+
+// TestPoolMetrics checks the utilization gauges and tile counters.
+func TestPoolMetrics(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	reg := obs.NewRegistry()
+	pool.AttachMetrics(reg)
+	pl := NewPlan(pool)
+	pl.AttachMetrics(reg)
+	pl.Run("kern", Interior(4, 4, 16), func(Tile, int) {})
+	pl.Run("kern", Interior(4, 4, 16), func(Tile, int) {})
+	s := reg.Snapshot()
+	if got := s.Gauges["par.workers"]; got != 3 {
+		t.Errorf("par.workers = %g, want 3", got)
+	}
+	if got := s.Counters["par.tiles.kern"]; got != 32 {
+		t.Errorf("par.tiles.kern = %d, want 32", got)
+	}
+	if got := s.Counters["par.tiles_total"]; got != 32 {
+		t.Errorf("par.tiles_total = %d, want 32", got)
+	}
+}
+
+// TestPerfSnapshot checks worker busy time lands under the kernel label.
+func TestPerfSnapshot(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	pl := NewPlan(pool)
+	var spin atomic.Int64
+	pl.Run("busywork", Interior(2, 2, 12), func(Tile, int) {
+		for i := 0; i < 1000; i++ {
+			spin.Add(1)
+		}
+	})
+	tm := pool.PerfSnapshot()
+	r := tm.Region("busywork")
+	if r == nil || r.Calls != 12 {
+		t.Fatalf("busywork region = %+v, want 12 calls", r)
+	}
+}
+
+// TestSplitAxisDeterministic pins the axis-selection rule.
+func TestSplitAxisDeterministic(t *testing.T) {
+	cases := []struct {
+		r      Range
+		frozen int
+		want   int
+	}{
+		{Interior(32, 32, 32), -1, 2}, // ties prefer k
+		{Interior(32, 32, 32), 2, 1},  // frozen k → j
+		{Interior(64, 32, 1), -1, 0},  // quasi-2D, x largest
+		{Interior(8, 32, 1), -1, 1},   // quasi-2D, j largest
+		{Interior(1, 1, 1), -1, -1},   // degenerate
+		{Interior(9, 1, 1), 0, -1},    // only splittable axis frozen
+	}
+	for _, c := range cases {
+		if got := splitAxis(c.r, c.frozen); got != c.want {
+			t.Errorf("splitAxis(%v, %d) = %d, want %d", c.r, c.frozen, got, c.want)
+		}
+	}
+}
+
+func TestDefaultPoolConfig(t *testing.T) {
+	SetDefaultWorkers(2)
+	if got := DefaultWorkers(); got != 2 {
+		t.Fatalf("DefaultWorkers = %d after SetDefaultWorkers(2)", got)
+	}
+	p := Default()
+	if p.Workers() != 2 {
+		t.Fatalf("default pool size = %d, want 2", p.Workers())
+	}
+	if Default() != p {
+		t.Fatal("Default() not stable")
+	}
+	SetDefaultWorkers(0) // restore NumCPU default for other tests
+}

@@ -1,0 +1,214 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/s3dgo/s3d/internal/obs"
+)
+
+// Range is a half-open 3-D index box [Lo, Hi) in (i, j, k) order, matching
+// the solver's interior (or ghost-extended) loop bounds.
+type Range struct {
+	Lo, Hi [3]int
+}
+
+// Box builds a Range from loop bounds.
+func Box(lo, hi [3]int) Range { return Range{Lo: lo, Hi: hi} }
+
+// Interior is the Range covering [0,nx)×[0,ny)×[0,nz).
+func Interior(nx, ny, nz int) Range { return Range{Hi: [3]int{nx, ny, nz}} }
+
+// Ext returns the extent along axis a.
+func (r Range) Ext(a int) int { return r.Hi[a] - r.Lo[a] }
+
+// Empty reports whether the box contains no points.
+func (r Range) Empty() bool {
+	return r.Ext(0) <= 0 || r.Ext(1) <= 0 || r.Ext(2) <= 0
+}
+
+// Tile is one unit of scheduled work: a sub-box of the sweep's Range plus
+// its position in the deterministic tile order (the reduction-slot index).
+type Tile struct {
+	Range
+	Index int
+}
+
+// splitAxis picks the tiling axis for a box: the axis with the largest
+// extent, preferring k over j over i on ties, never the frozen axis (pass
+// -1 for none) and never a unit axis. The choice depends only on the box
+// shape — never on the worker count — so tile decompositions, and with
+// them reduction orders, are reproducible across pool sizes. Returns -1
+// when no axis is splittable (single-tile sweep).
+func splitAxis(r Range, frozen int) int {
+	best, bestExt := -1, 1
+	for _, a := range [3]int{2, 1, 0} {
+		if a == frozen {
+			continue
+		}
+		if e := r.Ext(a); e > bestExt {
+			best, bestExt = a, e
+		}
+	}
+	return best
+}
+
+// tileOf cuts plane idx (grain: one plane) along axis ax out of r.
+func tileOf(r Range, ax, idx int) Tile {
+	t := Tile{Range: r, Index: idx}
+	if ax >= 0 {
+		t.Lo[ax] = r.Lo[ax] + idx
+		t.Hi[ax] = t.Lo[ax] + 1
+	}
+	return t
+}
+
+// Plan schedules one block's kernels over a pool. A Plan has a single
+// owner goroutine (the rank driving the block); only the pool behind it is
+// shared. Reduction scratch and metric handles are therefore unguarded.
+type Plan struct {
+	pool *Pool
+	red  []float64 // ordered per-tile reduction slots
+
+	reg      *obs.Registry
+	counters map[string]*obs.Counter // per-kernel tile counters, lazy
+}
+
+// NewPlan builds a plan over the given pool (nil selects Default()).
+func NewPlan(pool *Pool) *Plan {
+	if pool == nil {
+		pool = Default()
+	}
+	return &Plan{pool: pool}
+}
+
+// Pool returns the pool the plan schedules onto.
+func (pl *Plan) Pool() *Pool { return pl.pool }
+
+// Workers returns the pool size; per-worker state (scratch arrays, cloned
+// chemistry) must be dimensioned to it. Worker indices passed to kernel
+// closures are always < Workers().
+func (pl *Plan) Workers() int { return pl.pool.n }
+
+// AttachMetrics directs the plan's per-kernel tile counters
+// (par.tiles.<kernel>) at a registry. Owner-goroutine only, like every
+// other Plan method.
+func (pl *Plan) AttachMetrics(reg *obs.Registry) {
+	pl.reg = reg
+	pl.counters = nil
+}
+
+// count bumps the kernel's tile counter (no-op without a registry).
+func (pl *Plan) count(label string, tiles int) {
+	if pl.reg == nil {
+		return
+	}
+	c := pl.counters[label]
+	if c == nil {
+		if pl.counters == nil {
+			pl.counters = map[string]*obs.Counter{}
+		}
+		c = pl.reg.Counter("par.tiles." + label)
+		pl.counters[label] = c
+	}
+	c.Add(int64(tiles))
+}
+
+// Run decomposes r into plane tiles and executes fn over every tile,
+// blocking until all complete. fn receives the tile and the executing
+// worker's index; tiles write disjoint outputs, so no ordering is imposed
+// between them. label names the kernel for the pool's per-worker timers
+// and the tile counters.
+func (pl *Plan) Run(label string, r Range, fn func(t Tile, worker int)) {
+	pl.RunFrozen(label, r, -1, fn)
+}
+
+// RunFrozen is Run with one axis exempt from tiling — required when the
+// kernel's stencil spans that axis (derivative sweeps along it) so every
+// tile must hold the full extent.
+func (pl *Plan) RunFrozen(label string, r Range, frozen int, fn func(t Tile, worker int)) {
+	if r.Empty() {
+		return
+	}
+	ax := splitAxis(r, frozen)
+	n := 1
+	if ax >= 0 {
+		n = r.Ext(ax)
+	}
+	pl.count(label, n)
+	if pl.pool.n == 1 || n == 1 {
+		// Serial fast path: execute the same tile decomposition inline on
+		// the owner, keeping results bitwise identical to the pooled path.
+		for idx := 0; idx < n; idx++ {
+			fn(tileOf(r, ax, idx), 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for idx := 0; idx < n; idx++ {
+		pl.pool.submit(task{label: label, fn: fn, tile: tileOf(r, ax, idx), wg: &wg})
+	}
+	wg.Wait()
+}
+
+// RunReduce runs fn over the tiles of r and returns the sum of the per-tile
+// results, accumulated in ascending tile order through ordered slots. The
+// tile decomposition and the combination order are independent of the pool
+// size, so the reduction is bitwise deterministic for any worker count —
+// the property the solver's heat-release integral and conservation
+// diagnostics rely on.
+func (pl *Plan) RunReduce(label string, r Range, fn func(t Tile, worker int) float64) float64 {
+	if r.Empty() {
+		return 0
+	}
+	ax := splitAxis(r, -1)
+	n := 1
+	if ax >= 0 {
+		n = r.Ext(ax)
+	}
+	if cap(pl.red) < n {
+		pl.red = make([]float64, n)
+	}
+	slots := pl.red[:n]
+	pl.RunFrozen(label, r, -1, func(t Tile, w int) {
+		slots[t.Index] = fn(t, w)
+	})
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += slots[i]
+	}
+	return sum
+}
+
+// RunItems executes fn for every item index in [0, n) — the degenerate
+// 1-D decomposition used for per-field work such as halo pack/unpack,
+// where each item already writes a disjoint region.
+func (pl *Plan) RunItems(label string, n int, fn func(item, worker int)) {
+	if n <= 0 {
+		return
+	}
+	pl.count(label, n)
+	if pl.pool.n == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		item := i
+		pl.pool.submit(task{
+			label: label,
+			fn:    func(_ Tile, w int) { fn(item, w) },
+			wg:    &wg,
+		})
+	}
+	wg.Wait()
+}
+
+// String describes the plan (diagnostics).
+func (pl *Plan) String() string {
+	return fmt.Sprintf("par.Plan{workers: %d}", pl.pool.n)
+}

@@ -1,6 +1,9 @@
 package solver
 
-import "github.com/s3dgo/s3d/internal/grid"
+import (
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/par"
+)
 
 // The diffusive-flux computation (paper figure 4) evaluates, for every
 // direction m and species n, the mixture-averaged species diffusive flux
@@ -61,16 +64,27 @@ func (b *Block) naiveScratch() (*grid.Field3, *grid.Field3) {
 	return b.naiveT1, b.naiveT2
 }
 
-// eachRow invokes fn with the flat start index of every interior row, so
-// the array statements below run over contiguous unit-stride spans (as the
-// compiled Fortran 90 array syntax did) — the naive version's cost is its
-// memory traffic, not its indexing.
-func (b *Block) eachRow(fn func(row int)) {
-	for k := 0; k < b.G.Nz; k++ {
-		for j := 0; j < b.G.Ny; j++ {
+// eachRowTile invokes fn with the flat start index of every interior row in
+// the tile, so the array statements below run over contiguous unit-stride
+// spans (as the compiled Fortran 90 array syntax did) — the naive version's
+// cost is its memory traffic, not its indexing. Each array statement is a
+// separate tiled sweep with a barrier between statements, preserving the
+// statement-at-a-time structure whose cache behaviour figure 4 dissects.
+func (b *Block) eachRowTile(t par.Tile, fn func(row int)) {
+	for k := t.Lo[2]; k < t.Hi[2]; k++ {
+		for j := t.Lo[1]; j < t.Hi[1]; j++ {
 			fn(b.Rho.Idx(0, j, k))
 		}
 	}
+}
+
+// naiveSweep runs one array statement over the interior, row-parallel. The
+// interior is tiled with the i axis frozen so fn always spans whole rows.
+func (b *Block) naiveSweep(fn func(row int)) {
+	r := par.Interior(b.G.Nx, b.G.Ny, b.G.Nz)
+	b.plan.RunFrozen("COMPUTESPECIESDIFFFLUX", r, 0, func(t par.Tile, _ int) {
+		b.eachRowTile(t, fn)
+	})
 }
 
 // computeDiffFluxNaive: per (direction, species) full-grid array sweeps.
@@ -91,19 +105,19 @@ func (b *Block) computeDiffFluxNaive() {
 			rho := b.Rho.Data
 			jmn := b.J[m][n].Data
 			// tmp1 = Y_n/W · dW_m        (array statement 1)
-			b.eachRow(func(row int) {
+			b.naiveSweep(func(row int) {
 				for i := row; i < row+nx; i++ {
 					t1.Data[i] = yn[i] / wmix[i] * dw[i]
 				}
 			})
 			// tmp2 = dY_nm + tmp1        (array statement 2)
-			b.eachRow(func(row int) {
+			b.naiveSweep(func(row int) {
 				for i := row; i < row+nx; i++ {
 					t2.Data[i] = dy[i] + t1.Data[i]
 				}
 			})
 			// J*_nm = −ρ·D_n·tmp2        (array statement 3)
-			b.eachRow(func(row int) {
+			b.naiveSweep(func(row int) {
 				for i := row; i < row+nx; i++ {
 					jmn[i] = -rho[i] * dn[i] * t2.Data[i]
 				}
@@ -111,14 +125,14 @@ func (b *Block) computeDiffFluxNaive() {
 		}
 		// Correction: sum over species (array reduction), then subtract —
 		// two more passes over the full 4-D slab.
-		b.eachRow(func(row int) {
+		b.naiveSweep(func(row int) {
 			for i := row; i < row+nx; i++ {
 				t1.Data[i] = 0
 			}
 		})
 		for n := 0; n < ns; n++ {
 			jmn := b.J[m][n].Data
-			b.eachRow(func(row int) {
+			b.naiveSweep(func(row int) {
 				for i := row; i < row+nx; i++ {
 					t1.Data[i] += jmn[i]
 				}
@@ -127,7 +141,7 @@ func (b *Block) computeDiffFluxNaive() {
 		for n := 0; n < ns; n++ {
 			jmn := b.J[m][n].Data
 			yn := b.Y[n].Data
-			b.eachRow(func(row int) {
+			b.naiveSweep(func(row int) {
 				for i := row; i < row+nx; i++ {
 					jmn[i] -= yn[i] * t1.Data[i]
 				}
@@ -137,17 +151,24 @@ func (b *Block) computeDiffFluxNaive() {
 }
 
 // computeDiffFluxOptimized: fused single pass with register reuse and a
-// two-way unroll-and-jam over species.
+// two-way unroll-and-jam over species, tiled over the pool with per-worker
+// ρD and J* scratch vectors.
 func (b *Block) computeDiffFluxOptimized() {
+	r := par.Interior(b.G.Nx, b.G.Ny, b.G.Nz)
+	b.plan.Run("COMPUTESPECIESDIFFFLUX", r, func(t par.Tile, worker int) {
+		b.diffFluxOptimizedTile(t, &b.ws[worker])
+	})
+}
+
+func (b *Block) diffFluxOptimizedTile(t par.Tile, ws *kernScratch) {
 	ns := b.ns
-	nx, ny, nz := b.G.Nx, b.G.Ny, b.G.Nz
-	rhoD := b.hw // per-point scratch: ρ·D_n
-	jstar := b.cw
-	for k := 0; k < nz; k++ {
-		for j := 0; j < ny; j++ {
+	rhoD := ws.hw // per-point scratch: ρ·D_n
+	jstar := ws.cw
+	for k := t.Lo[2]; k < t.Hi[2]; k++ {
+		for j := t.Lo[1]; j < t.Hi[1]; j++ {
 			rowRho := b.Rho.Idx(0, j, k)
 			rowW := b.Wmix.Idx(0, j, k)
-			for i := 0; i < nx; i++ {
+			for i := t.Lo[0]; i < t.Hi[0]; i++ {
 				rho := b.Rho.Data[rowRho+i]
 				invW := 1 / b.Wmix.Data[rowW+i]
 				// ρDₙ loaded once, reused across the three directions.

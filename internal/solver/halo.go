@@ -15,7 +15,10 @@ import (
 // over ranges that include the ghost layers of already-exchanged axes, so
 // edge and corner ghosts are correct after the sweep (both endpoints of an
 // exchange share boundary status on the earlier axes, so their ranges
-// agree).
+// agree). Per-field work — the periodic wraps and the slab pack/unpack —
+// runs as pool items: each field owns a disjoint ghost region or buffer
+// segment, so fields proceed concurrently while the buffer layout stays
+// identical to the serial field-major order.
 func (b *Block) exchangeHalos(fields []*grid.Field3, tagBase int) {
 	b.Timers.Start("GHOST_EXCHANGE")
 	defer b.Timers.Stop("GHOST_EXCHANGE")
@@ -29,9 +32,7 @@ func (b *Block) exchangeHalos(fields []*grid.Field3, tagBase int) {
 		}
 		if b.cart == nil {
 			// Serial: valid ghosts imply a periodic axis.
-			for _, f := range fields {
-				f.WrapPeriodic(axis)
-			}
+			b.wrapAll(fields, axis)
 			continue
 		}
 		loNb := b.cart.Neighbor(a, -1)
@@ -39,13 +40,19 @@ func (b *Block) exchangeHalos(fields []*grid.Field3, tagBase int) {
 		self := b.cart.Comm.Rank()
 		if loNb == self && hiNb == self {
 			// Periodic axis not decomposed: wrap locally.
-			for _, f := range fields {
-				f.WrapPeriodic(axis)
-			}
+			b.wrapAll(fields, axis)
 			continue
 		}
 		b.exchangeAxis(fields, a, loNb, hiNb, tagBase)
 	}
+}
+
+// wrapAll applies the periodic wrap to every field, one pool item per field
+// (each field's ghost layers are disjoint storage).
+func (b *Block) wrapAll(fields []*grid.Field3, axis grid.Axis) {
+	b.plan.RunItems("GHOST_EXCHANGE", len(fields), func(item, _ int) {
+		fields[item].WrapPeriodic(axis)
+	})
 }
 
 // otherRange returns the loop range along axis o during the exchange of
@@ -64,42 +71,59 @@ func (b *Block) otherRange(a, o int) (lo, hi int) {
 	return lo, hi
 }
 
+// haloBuffer returns the idx-th reusable slab buffer with length n, growing
+// it on demand (hoisted allocation: steady-state exchanges allocate nothing).
+func (b *Block) haloBuffer(idx, n int) []float64 {
+	if cap(b.haloBuf[idx]) < n {
+		b.haloBuf[idx] = make([]float64, n)
+	}
+	return b.haloBuf[idx][:n]
+}
+
 // exchangeAxis performs the two-sided slab exchange along one axis.
 func (b *Block) exchangeAxis(fields []*grid.Field3, a, loNb, hiNb, tagBase int) {
 	c := b.cart.Comm
 	g := grid.Ghost
-	slab := b.slabSize(a) * g * len(fields)
+	per := b.slabSize(a) * g // per-field slab points
+	slab := per * len(fields)
 	tagLo := tagBase + a*2     // message arriving at a low face
 	tagHi := tagBase + a*2 + 1 // message arriving at a high face
 
-	var reqs []*comm.Request
+	// At most two receives and two sends; a fixed array keeps the
+	// steady-state exchange allocation-free.
+	var reqs [4]*comm.Request
+	nr := 0
 	var recvLo, recvHi []float64
 	if loNb >= 0 {
-		recvLo = make([]float64, slab)
-		reqs = append(reqs, c.Irecv(loNb, tagLo, recvLo))
+		recvLo = b.haloBuffer(0, slab)
+		reqs[nr] = c.Irecv(loNb, tagLo, recvLo)
+		nr++
 	}
 	if hiNb >= 0 {
-		recvHi = make([]float64, slab)
-		reqs = append(reqs, c.Irecv(hiNb, tagHi, recvHi))
+		recvHi = b.haloBuffer(1, slab)
+		reqs[nr] = c.Irecv(hiNb, tagHi, recvHi)
+		nr++
 	}
 	if loNb >= 0 {
-		buf := make([]float64, slab)
-		b.packSlab(fields, a, 0, g, buf) // my low interior → neighbour's high ghosts
-		reqs = append(reqs, c.Isend(loNb, tagHi, buf))
+		buf := b.haloBuffer(2, slab)
+		b.packSlab(fields, a, 0, g, per, buf) // my low interior → neighbour's high ghosts
+		reqs[nr] = c.Isend(loNb, tagHi, buf)
+		nr++
 	}
 	if hiNb >= 0 {
-		buf := make([]float64, slab)
-		b.packSlab(fields, a, b.dimOf(a)-g, g, buf) // my high interior → neighbour's low ghosts
-		reqs = append(reqs, c.Isend(hiNb, tagLo, buf))
+		buf := b.haloBuffer(3, slab)
+		b.packSlab(fields, a, b.dimOf(a)-g, g, per, buf) // my high interior → neighbour's low ghosts
+		reqs[nr] = c.Isend(hiNb, tagLo, buf)
+		nr++
 	}
 	b.Timers.Start("MPI_WAIT")
-	comm.WaitAll(reqs...)
+	comm.WaitAll(reqs[:nr]...)
 	b.Timers.Stop("MPI_WAIT")
 	if loNb >= 0 {
-		b.unpackSlab(fields, a, -g, g, recvLo)
+		b.unpackSlab(fields, a, -g, g, per, recvLo)
 	}
 	if hiNb >= 0 {
-		b.unpackSlab(fields, a, b.dimOf(a), g, recvHi)
+		b.unpackSlab(fields, a, b.dimOf(a), g, per, recvHi)
 	}
 }
 
@@ -150,24 +174,27 @@ func (b *Block) eachSlabPoint(a, start, depth int, fn func(i, j, k int)) {
 }
 
 // packSlab serialises layers [start, start+depth) along axis a for every
-// field in order.
-func (b *Block) packSlab(fields []*grid.Field3, a, start, depth int, buf []float64) {
-	pos := 0
-	for _, f := range fields {
+// field in order, one pool item per field writing its own buffer segment of
+// per points (the field-major layout of the serial pack, unchanged).
+func (b *Block) packSlab(fields []*grid.Field3, a, start, depth, per int, buf []float64) {
+	b.plan.RunItems("GHOST_EXCHANGE", len(fields), func(item, _ int) {
+		f := fields[item]
+		pos := item * per
 		b.eachSlabPoint(a, start, depth, func(i, j, k int) {
 			buf[pos] = f.At(i, j, k)
 			pos++
 		})
-	}
+	})
 }
 
 // unpackSlab is the inverse of packSlab.
-func (b *Block) unpackSlab(fields []*grid.Field3, a, start, depth int, buf []float64) {
-	pos := 0
-	for _, f := range fields {
+func (b *Block) unpackSlab(fields []*grid.Field3, a, start, depth, per int, buf []float64) {
+	b.plan.RunItems("GHOST_EXCHANGE", len(fields), func(item, _ int) {
+		f := fields[item]
+		pos := item * per
 		b.eachSlabPoint(a, start, depth, func(i, j, k int) {
 			f.Set(i, j, k, buf[pos])
 			pos++
 		})
-	}
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/par"
 )
 
 // Navier–Stokes characteristic boundary conditions (paper §2.6, citing
@@ -63,7 +64,10 @@ func (b *Block) domainLength(a int) float64 {
 	}
 }
 
-// charFace applies the characteristic treatment on one boundary plane.
+// charFace applies the characteristic treatment on one boundary plane. The
+// plane tiles over the pool like any other kernel: every point updates only
+// its own rhs entries, and each worker carries its own wave-amplitude and
+// stencil scratch.
 func (b *Block) charFace(a, side int, t float64) {
 	axis := grid.Axis(a)
 	n := b.G.Dim(axis) // points along the normal axis
@@ -81,125 +85,131 @@ func (b *Block) charFace(a, side int, t float64) {
 	vel := [3]*grid.Field3{b.U, b.V, b.W}
 	dvelN := [3]*grid.Field3{b.dU[0][a], b.dU[1][a], b.dU[2][a]}
 
-	// Plane loops: iterate over the two non-normal axes.
-	b.eachPlanePoint(a, bi, func(i, j, k int) {
-		rho := b.Rho.At(i, j, k)
-		p := b.P.At(i, j, k)
-		T := b.T.At(i, j, k)
-		b.gatherY(i, j, k)
-		c := set.SoundSpeed(T, b.yw)
-		un := vel[a].At(i, j, k)
-		ut1 := vel[t1a].At(i, j, k)
-		ut2 := vel[t2a].At(i, j, k)
-		mach := math.Abs(un) / c
-		oneM2 := 1 - mach*mach
-		if oneM2 < 0.05 {
-			oneM2 = 0.05
-		}
-
-		// One-sided normal derivatives from the gradient fields.
-		dp := b.dP[a].At(i, j, k)
-		drho := b.dRho[a].At(i, j, k)
-		dun := dvelN[a].At(i, j, k)
-		dut1 := dvelN[t1a].At(i, j, k)
-		dut2 := dvelN[t2a].At(i, j, k)
-
-		// Wave amplitudes from the interior (outgoing values).
-		l1 := (un - c) * (dp - rho*c*dun)
-		l2 := un * (c*c*drho - dp)
-		l3 := un * dut1
-		l4 := un * dut2
-		l5 := (un + c) * (dp + rho*c*dun)
-		lY := b.hw // scratch: species wave amplitudes
-		for sp := 0; sp < ns; sp++ {
-			lY[sp] = un * b.dY[sp][a].At(i, j, k)
-		}
-
-		// Override incoming amplitudes per boundary type.
-		switch bc {
-		case OutflowNSCBC:
-			kp := b.sigmaOut() * c * oneM2 / L
-			if side == 0 {
-				l5 = kp * (p - b.cfg.PInf) // incoming at a low face travels +n
-			} else {
-				l1 = kp * (p - b.cfg.PInf)
+	// The plane box: unit extent along the normal axis, full interior on the
+	// two tangential axes (the tiler never splits a unit axis).
+	plane := b.interior()
+	plane.Lo[a], plane.Hi[a] = bi, bi+1
+	b.plan.Run("NSCBC", plane, func(tl par.Tile, worker int) {
+		ws := &b.ws[worker]
+		b.eachTilePoint(tl, func(i, j, k int) {
+			rho := b.Rho.At(i, j, k)
+			p := b.P.At(i, j, k)
+			T := b.T.At(i, j, k)
+			b.gatherYInto(ws.yw, i, j, k)
+			c := set.SoundSpeed(T, ws.yw)
+			un := vel[a].At(i, j, k)
+			ut1 := vel[t1a].At(i, j, k)
+			ut2 := vel[t2a].At(i, j, k)
+			mach := math.Abs(un) / c
+			oneM2 := 1 - mach*mach
+			if oneM2 < 0.05 {
+				oneM2 = 0.05
 			}
-		case InflowNSCBC:
-			tgt := b.inflowTarget(a, side, i, j, k, t)
-			eta := b.etaIn()
-			ku := eta * rho * c * c * oneM2 / L
-			kt := eta * c / L
-			if side == 0 {
-				l5 = ku * (un - tgt.U)
-			} else {
-				l1 = -ku * (un - tgt.U)
-			}
-			l2 = -eta * (c / L) * rho * c * c * (T - tgt.T) / T
-			tgtT1, tgtT2 := tangentialTargets(a, tgt)
-			l3 = kt * (ut1 - tgtT1)
-			l4 = kt * (ut2 - tgtT2)
+
+			// One-sided normal derivatives from the gradient fields.
+			dp := b.dP[a].At(i, j, k)
+			drho := b.dRho[a].At(i, j, k)
+			dun := dvelN[a].At(i, j, k)
+			dut1 := dvelN[t1a].At(i, j, k)
+			dut2 := dvelN[t2a].At(i, j, k)
+
+			// Wave amplitudes from the interior (outgoing values).
+			l1 := (un - c) * (dp - rho*c*dun)
+			l2 := un * (c*c*drho - dp)
+			l3 := un * dut1
+			l4 := un * dut2
+			l5 := (un + c) * (dp + rho*c*dun)
+			lY := ws.hw // scratch: species wave amplitudes
 			for sp := 0; sp < ns; sp++ {
-				lY[sp] = kt * (b.yw[sp] - tgt.Y[sp])
+				lY[sp] = un * b.dY[sp][a].At(i, j, k)
 			}
-		}
 
-		// LODI d-vector.
-		d1 := (l2 + 0.5*(l5+l1)) / (c * c)
-		d2 := 0.5 * (l5 + l1)
-		d3 := (l5 - l1) / (2 * rho * c)
-		d4 := l3
-		d5 := l4
+			// Override incoming amplitudes per boundary type.
+			switch bc {
+			case OutflowNSCBC:
+				kp := b.sigmaOut() * c * oneM2 / L
+				if side == 0 {
+					l5 = kp * (p - b.cfg.PInf) // incoming at a low face travels +n
+				} else {
+					l1 = kp * (p - b.cfg.PInf)
+				}
+			case InflowNSCBC:
+				tgt := b.inflowTarget(ws, a, side, j, k, t)
+				eta := b.etaIn()
+				ku := eta * rho * c * c * oneM2 / L
+				kt := eta * c / L
+				if side == 0 {
+					l5 = ku * (un - tgt.U)
+				} else {
+					l1 = -ku * (un - tgt.U)
+				}
+				l2 = -eta * (c / L) * rho * c * c * (T - tgt.T) / T
+				tgtT1, tgtT2 := tangentialTargets(a, tgt)
+				l3 = kt * (ut1 - tgtT1)
+				l4 = kt * (ut2 - tgtT2)
+				for sp := 0; sp < ns; sp++ {
+					lY[sp] = kt * (ws.yw[sp] - tgt.Y[sp])
+				}
+			}
 
-		// Primitive time derivatives from the characteristic normal terms.
-		drhoDt := -d1
-		dpDt := -d2
-		duDt := [3]float64{}
-		duDt[a] = -d3
-		duDt[t1a] = -d4
-		duDt[t2a] = -d5
-		dYDt := b.cw // scratch
-		for sp := 0; sp < ns; sp++ {
-			dYDt[sp] = -lY[sp]
-		}
+			// LODI d-vector.
+			d1 := (l2 + 0.5*(l5+l1)) / (c * c)
+			d2 := 0.5 * (l5 + l1)
+			d3 := (l5 - l1) / (2 * rho * c)
+			d4 := l3
+			d5 := l4
 
-		// Mixture quantities for the energy conversion.
-		W := b.Wmix.At(i, j, k)
-		cp := set.CpMass(T, b.yw)
-		var dWDt float64
-		for sp := 0; sp < ns; sp++ {
-			dWDt += dYDt[sp] / species[sp].W
-		}
-		dWDt *= -W * W
-		dTDt := T * (dpDt/p - drhoDt/rho + dWDt/W)
-		var dhDt float64
-		var hMix float64
-		for sp := 0; sp < ns; sp++ {
-			hsp := species[sp].H(T)
-			hMix += b.yw[sp] * hsp
-			dhDt += hsp * dYDt[sp]
-		}
-		dhDt += cp * dTDt
+			// Primitive time derivatives from the characteristic normal terms.
+			drhoDt := -d1
+			dpDt := -d2
+			duDt := [3]float64{}
+			duDt[a] = -d3
+			duDt[t1a] = -d4
+			duDt[t2a] = -d5
+			dYDt := ws.cw // scratch
+			for sp := 0; sp < ns; sp++ {
+				dYDt[sp] = -lY[sp]
+			}
 
-		uVec := [3]float64{b.U.At(i, j, k), b.V.At(i, j, k), b.W.At(i, j, k)}
-		ke := 0.5 * (uVec[0]*uVec[0] + uVec[1]*uVec[1] + uVec[2]*uVec[2])
-		dRhoE := hMix*drhoDt + rho*dhDt - dpDt + ke*drhoDt +
-			rho*(uVec[0]*duDt[0]+uVec[1]*duDt[1]+uVec[2]*duDt[2])
+			// Mixture quantities for the energy conversion.
+			W := b.Wmix.At(i, j, k)
+			cp := set.CpMass(T, ws.yw)
+			var dWDt float64
+			for sp := 0; sp < ns; sp++ {
+				dWDt += dYDt[sp] / species[sp].W
+			}
+			dWDt *= -W * W
+			dTDt := T * (dpDt/p - drhoDt/rho + dWDt/W)
+			var dhDt float64
+			var hMix float64
+			for sp := 0; sp < ns; sp++ {
+				hsp := species[sp].H(T)
+				hMix += ws.yw[sp] * hsp
+				dhDt += hsp * dYDt[sp]
+			}
+			dhDt += cp * dTDt
 
-		// Conventional normal inviscid flux derivative at this point, to be
-		// removed from the RHS (the divergence already subtracted it).
-		dphi := b.normalInviscidDeriv(a, side, i, j, k)
+			uVec := [3]float64{b.U.At(i, j, k), b.V.At(i, j, k), b.W.At(i, j, k)}
+			ke := 0.5 * (uVec[0]*uVec[0] + uVec[1]*uVec[1] + uVec[2]*uVec[2])
+			dRhoE := hMix*drhoDt + rho*dhDt - dpDt + ke*drhoDt +
+				rho*(uVec[0]*duDt[0]+uVec[1]*duDt[1]+uVec[2]*duDt[2])
 
-		// rhs_new = rhs_old + ∂φ_inv/∂n + ddt_char.
-		b.rhs[iRho].Add(i, j, k, dphi[iRho]+drhoDt)
-		for comp := 0; comp < 3; comp++ {
-			b.rhs[iRhoU+comp].Add(i, j, k,
-				dphi[iRhoU+comp]+uVec[comp]*drhoDt+rho*duDt[comp])
-		}
-		b.rhs[iRhoE].Add(i, j, k, dphi[iRhoE]+dRhoE)
-		for sp := 0; sp < ns-1; sp++ {
-			b.rhs[iY0+sp].Add(i, j, k,
-				dphi[iY0+sp]+b.yw[sp]*drhoDt+rho*dYDt[sp])
-		}
+			// Conventional normal inviscid flux derivative at this point, to
+			// be removed from the RHS (the divergence already subtracted it).
+			dphi := b.normalInviscidDeriv(ws, a, side, i, j, k)
+
+			// rhs_new = rhs_old + ∂φ_inv/∂n + ddt_char.
+			b.rhs[iRho].Add(i, j, k, dphi[iRho]+drhoDt)
+			for comp := 0; comp < 3; comp++ {
+				b.rhs[iRhoU+comp].Add(i, j, k,
+					dphi[iRhoU+comp]+uVec[comp]*drhoDt+rho*duDt[comp])
+			}
+			b.rhs[iRhoE].Add(i, j, k, dphi[iRhoE]+dRhoE)
+			for sp := 0; sp < ns-1; sp++ {
+				b.rhs[iY0+sp].Add(i, j, k,
+					dphi[iY0+sp]+ws.yw[sp]*drhoDt+rho*dYDt[sp])
+			}
+		})
 	})
 }
 
@@ -211,41 +221,28 @@ func tangentialTargets(a int, tgt *InflowState) (float64, float64) {
 }
 
 // inflowTarget returns the relaxation target at a face point. The normal
-// component of the target is stored in U regardless of the face axis.
-func (b *Block) inflowTarget(a, side, i, j, k int, t float64) *InflowState {
+// component of the target is stored in U regardless of the face axis. The
+// x-min face uses the per-(j,k) cache (distinct slots, safe under tiling);
+// other faces evaluate into the worker's scratch target. Either way the
+// user's InflowFunc may be called from several workers at once for
+// different points, so it must be safe for concurrent use (pure functions
+// of their arguments are; closures over read-only captured data are too).
+func (b *Block) inflowTarget(ws *kernScratch, a, side, j, k int, t float64) *InflowState {
 	if a == 0 && side == 0 && b.inflowTargets != nil {
 		tgt := &b.inflowTargets[k*b.G.Ny+j]
 		b.cfg.Inflow(b.G.Yc[j], b.G.Zc[k], t, tgt)
 		return tgt
 	}
-	// Other faces: evaluate into a block-level scratch target.
-	if b.scratchTarget.Y == nil {
-		b.scratchTarget.Y = make([]float64, b.ns)
-	}
-	b.cfg.Inflow(b.G.Yc[j], b.G.Zc[k], t, &b.scratchTarget)
-	return &b.scratchTarget
+	b.cfg.Inflow(b.G.Yc[j], b.G.Zc[k], t, &ws.tgt)
+	return &ws.tgt
 }
 
-// eachPlanePoint visits every interior point of the boundary plane at index
-// bi along axis a.
-func (b *Block) eachPlanePoint(a, bi int, fn func(i, j, k int)) {
-	switch a {
-	case 0:
-		for k := 0; k < b.G.Nz; k++ {
-			for j := 0; j < b.G.Ny; j++ {
-				fn(bi, j, k)
-			}
-		}
-	case 1:
-		for k := 0; k < b.G.Nz; k++ {
-			for i := 0; i < b.G.Nx; i++ {
-				fn(i, bi, k)
-			}
-		}
-	default:
-		for j := 0; j < b.G.Ny; j++ {
-			for i := 0; i < b.G.Nx; i++ {
-				fn(i, j, bi)
+// eachTilePoint visits every point of the tile's box in k-j-i order.
+func (b *Block) eachTilePoint(t par.Tile, fn func(i, j, k int)) {
+	for k := t.Lo[2]; k < t.Hi[2]; k++ {
+		for j := t.Lo[1]; j < t.Hi[1]; j++ {
+			for i := t.Lo[0]; i < t.Hi[0]; i++ {
+				fn(i, j, k)
 			}
 		}
 	}
@@ -259,11 +256,16 @@ var oneSided4 = [5]float64{-25.0 / 12.0, 4.0, -3.0, 4.0 / 3.0, -1.0 / 4.0}
 // normalInviscidDeriv computes ∂φ_inv/∂n for every conserved variable at a
 // boundary point with the same one-sided stencil the divergence used, where
 // φ_inv is the inviscid part of the normal flux (convection + pressure).
-func (b *Block) normalInviscidDeriv(a, side, i, j, k int) []float64 {
+// Results land in the worker's nvOut buffer (valid until its next call), so
+// the per-point hot path allocates nothing.
+func (b *Block) normalInviscidDeriv(ws *kernScratch, a, side, i, j, k int) []float64 {
 	met := b.G.Metric(grid.Axis(a))
 	nvar := b.nvar
-	out := make([]float64, nvar)
-	var flux = make([]float64, nvar)
+	out := ws.nvOut
+	for v := 0; v < nvar; v++ {
+		out[v] = 0
+	}
+	flux := ws.nvFlux
 	idx := [3]int{i, j, k}
 	bi := idx[a]
 	for m := 0; m < 5; m++ {

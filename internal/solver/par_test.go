@@ -1,0 +1,207 @@
+package solver
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/chem"
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/par"
+	"github.com/s3dgo/s3d/internal/transport"
+)
+
+// TestMain lets CI force every solver test through a multi-worker pool:
+// S3D_WORKERS=4 go test -race ./internal/solver exercises the tiled kernels
+// with real concurrency even on small CI machines where NumCPU would
+// otherwise select the single-worker inline path.
+func TestMain(m *testing.M) {
+	if s := os.Getenv("S3D_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			par.SetDefaultWorkers(n)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// reactiveConfig builds a 3-D periodic H2/air box with chemistry on.
+func reactiveConfig() *Config {
+	mech := chem.H2Air()
+	return &Config{
+		Mech:        mech,
+		Trans:       transport.MustNew(mech.Set),
+		Grid:        grid.New(grid.Spec{Nx: 16, Ny: 12, Nz: 8, Lx: 0.004, Ly: 0.003, Lz: 0.002}),
+		PInf:        101325,
+		FilterEvery: 4,
+	}
+}
+
+// hotSpotIC sets a lean premixed H2/air charge with a hot kernel, so the
+// chemistry source and heat-release integral are active from step one.
+func hotSpotIC(b *Block) {
+	set := b.cfg.Mech.Set
+	Y := make([]float64, b.cfg.Mech.NumSpecies())
+	Y[set.Index("H2")] = 0.015
+	Y[set.Index("O2")] = 0.23
+	Y[set.Index("N2")] = 1 - 0.015 - 0.23
+	b.SetState(func(x, y, z float64, s *InflowState) {
+		s.U = 2 * math.Sin(2*math.Pi*x/0.004)
+		s.V = 1 * math.Cos(2*math.Pi*y/0.003)
+		s.W = 0.5 * math.Sin(2*math.Pi*z/0.002)
+		r2 := (x-0.002)*(x-0.002) + (y-0.0015)*(y-0.0015) + (z-0.001)*(z-0.001)
+		s.T = 700 + 500*math.Exp(-r2/(0.0005*0.0005))
+		copy(s.Y, Y)
+	}, nil)
+}
+
+// rankState is one rank's bit-exact solution record.
+type rankState struct {
+	i0, j0, k0 int
+	q          [][]uint64 // [var][interior point] bit patterns
+	hrr        uint64
+	mass       uint64
+}
+
+// runDecomposed advances the reactive case for ten steps on a 2×2×1 rank
+// grid whose blocks all share a dedicated pool of the given size, and
+// returns every rank's solution bits.
+func runDecomposed(t *testing.T, workers int) []rankState {
+	t.Helper()
+	pool := par.NewPool(workers)
+	defer pool.Close()
+	cfg := reactiveConfig()
+	cfg.Pool = pool
+	results := make(chan rankState, 4)
+	err := RunParallel(cfg, [3]int{2, 2, 1}, func(b *Block) {
+		b.EnableTelemetry(nil) // activates the heat-release reduction
+		hotSpotIC(b)
+		b.Advance(10, 2e-8)
+		st := rankState{i0: b.i0, j0: b.j0, k0: b.k0,
+			hrr:  math.Float64bits(b.HeatRelease()),
+			mass: math.Float64bits(b.TotalMass()),
+		}
+		st.q = make([][]uint64, b.nvar)
+		for v := 0; v < b.nvar; v++ {
+			for k := 0; k < b.G.Nz; k++ {
+				for j := 0; j < b.G.Ny; j++ {
+					for i := 0; i < b.G.Nx; i++ {
+						st.q[v] = append(st.q[v], math.Float64bits(b.Q[v].At(i, j, k)))
+					}
+				}
+			}
+		}
+		results <- st
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(results)
+	var out []rankState
+	for r := range results {
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestWorkerCountDeterminism is the tier-1 determinism gate: ten steps of
+// the decomposed reactive periodic case must produce bitwise-identical
+// conserved fields, heat-release integrals and total masses with one worker
+// and with eight — the pool only reorders work whose results are
+// order-independent, and reductions run through ordered tile slots.
+func TestWorkerCountDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run reacting case")
+	}
+	base := runDecomposed(t, 1)
+	for _, workers := range []int{4, 8} {
+		got := runDecomposed(t, workers)
+		for _, g := range got {
+			var ref *rankState
+			for idx := range base {
+				if base[idx].i0 == g.i0 && base[idx].j0 == g.j0 && base[idx].k0 == g.k0 {
+					ref = &base[idx]
+					break
+				}
+			}
+			if ref == nil {
+				t.Fatalf("workers=%d: no matching rank for offset (%d,%d,%d)", workers, g.i0, g.j0, g.k0)
+			}
+			for v := range g.q {
+				for p := range g.q[v] {
+					if g.q[v][p] != ref.q[v][p] {
+						t.Fatalf("workers=%d rank(%d,%d,%d): Q[%d] differs at flat %d: %x vs %x",
+							workers, g.i0, g.j0, g.k0, v, p, g.q[v][p], ref.q[v][p])
+					}
+				}
+			}
+			if g.hrr != ref.hrr {
+				t.Errorf("workers=%d rank(%d,%d,%d): heat release %x vs %x",
+					workers, g.i0, g.j0, g.k0, g.hrr, ref.hrr)
+			}
+			if g.mass != ref.mass {
+				t.Errorf("workers=%d rank(%d,%d,%d): total mass %x vs %x",
+					workers, g.i0, g.j0, g.k0, g.mass, ref.mass)
+			}
+		}
+	}
+}
+
+// TestWorkerCountDeterminismNSCBC covers the boundary path: a serial
+// inflow/outflow channel must also be bitwise independent of the pool size
+// (the NSCBC planes tile over the pool with per-worker scratch).
+func TestWorkerCountDeterminismNSCBC(t *testing.T) {
+	run := func(workers int) ([]uint64, func()) {
+		pool := par.NewPool(workers)
+		mech := chem.H2Air()
+		cfg := &Config{
+			Mech:  mech,
+			Trans: transport.MustNew(mech.Set),
+			Grid:  grid.New(grid.Spec{Nx: 24, Ny: 8, Nz: 1, Lx: 0.01, Ly: 0.004, Lz: 0.004}),
+			BC: [3][2]BCType{
+				{InflowNSCBC, OutflowNSCBC},
+				{OutflowNSCBC, OutflowNSCBC},
+				{Periodic, Periodic},
+			},
+			PInf:         101325,
+			ChemistryOff: true,
+			Pool:         pool,
+		}
+		Yin := airY(cfg)
+		cfg.Inflow = func(y, z, t float64, tgt *InflowState) {
+			tgt.U, tgt.V, tgt.W = 10, 0, 0
+			tgt.T = 320
+			copy(tgt.Y, Yin)
+		}
+		b, err := NewSerial(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.SetState(func(x, y, z float64, s *InflowState) {
+			s.U = 10
+			s.T = 320 + 30*math.Exp(-((x-0.005)*(x-0.005))/(0.001*0.001))
+			copy(s.Y, Yin)
+		}, nil)
+		b.Advance(8, 5e-8)
+		var bits []uint64
+		for v := 0; v < b.nvar; v++ {
+			for k := 0; k < b.G.Nz; k++ {
+				for j := 0; j < b.G.Ny; j++ {
+					for i := 0; i < b.G.Nx; i++ {
+						bits = append(bits, math.Float64bits(b.Q[v].At(i, j, k)))
+					}
+				}
+			}
+		}
+		return bits, pool.Close
+	}
+	ref, cl1 := run(1)
+	defer cl1()
+	got, cl8 := run(8)
+	defer cl8()
+	for p := range ref {
+		if ref[p] != got[p] {
+			t.Fatalf("NSCBC channel: bit mismatch at flat %d: %x vs %x", p, ref[p], got[p])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/par"
 )
 
 // extent returns the loop bounds for a region that includes ghost layers on
@@ -26,7 +27,9 @@ func (b *Block) extent() (lo, hi [3]int) {
 
 // computePrimitives recovers ρ, u, v, w, Y, T, p, W from the conserved
 // fields over the interior plus valid ghost layers. Temperature Newton
-// iteration warm-starts from the previous value stored in b.T.
+// iteration warm-starts from the previous value stored in b.T. Each point's
+// recovery is independent, so the sweep tiles over the worker pool with a
+// per-worker species scratch vector.
 func (b *Block) computePrimitives() {
 	b.Timers.Start("COMPUTE_PRIMITIVES")
 	defer b.Timers.Stop("COMPUTE_PRIMITIVES")
@@ -34,64 +37,69 @@ func (b *Block) computePrimitives() {
 	lo, hi := b.extent()
 	set := b.mech.Set
 	ns := b.ns
-	for k := lo[2]; k < hi[2]; k++ {
-		for j := lo[1]; j < hi[1]; j++ {
-			for i := lo[0]; i < hi[0]; i++ {
-				rho := b.Q[iRho].At(i, j, k)
-				if !(rho > 0) || math.IsNaN(rho) {
-					panic(fmt.Sprintf("solver: non-positive density %g at (%d,%d,%d) step %d",
-						rho, i+b.i0, j+b.j0, k+b.k0, b.Step))
-				}
-				inv := 1 / rho
-				u := b.Q[iRhoU].At(i, j, k) * inv
-				v := b.Q[iRhoV].At(i, j, k) * inv
-				w := b.Q[iRhoW].At(i, j, k) * inv
-				var sum float64
-				for n := 0; n < ns-1; n++ {
-					y := b.Q[iY0+n].At(i, j, k) * inv
-					// Clip round-off excursions; the filter keeps these tiny.
-					if y < 0 {
-						y = 0
+	b.plan.Run("COMPUTE_PRIMITIVES", par.Box(lo, hi), func(t par.Tile, worker int) {
+		yw := b.ws[worker].yw
+		for k := t.Lo[2]; k < t.Hi[2]; k++ {
+			for j := t.Lo[1]; j < t.Hi[1]; j++ {
+				for i := t.Lo[0]; i < t.Hi[0]; i++ {
+					rho := b.Q[iRho].At(i, j, k)
+					if !(rho > 0) || math.IsNaN(rho) {
+						panic(fmt.Sprintf("solver: non-positive density %g at (%d,%d,%d) step %d",
+							rho, i+b.i0, j+b.j0, k+b.k0, b.Step))
 					}
-					b.yw[n] = y
-					sum += y
-				}
-				yLast := 1 - sum
-				if yLast < 0 {
-					// Renormalise pathological states rather than carrying a
-					// negative inert fraction.
-					scale := 1 / sum
+					inv := 1 / rho
+					u := b.Q[iRhoU].At(i, j, k) * inv
+					v := b.Q[iRhoV].At(i, j, k) * inv
+					w := b.Q[iRhoW].At(i, j, k) * inv
+					var sum float64
 					for n := 0; n < ns-1; n++ {
-						b.yw[n] *= scale
+						y := b.Q[iY0+n].At(i, j, k) * inv
+						// Clip round-off excursions; the filter keeps these tiny.
+						if y < 0 {
+							y = 0
+						}
+						yw[n] = y
+						sum += y
 					}
-					yLast = 0
-				}
-				b.yw[ns-1] = yLast
+					yLast := 1 - sum
+					if yLast < 0 {
+						// Renormalise pathological states rather than carrying a
+						// negative inert fraction.
+						scale := 1 / sum
+						for n := 0; n < ns-1; n++ {
+							yw[n] *= scale
+						}
+						yLast = 0
+					}
+					yw[ns-1] = yLast
 
-				e0 := b.Q[iRhoE].At(i, j, k) * inv
-				eInt := e0 - 0.5*(u*u+v*v+w*w)
-				T, ok := set.TFromE(eInt, b.yw, b.T.At(i, j, k))
-				if !ok {
-					panic(fmt.Sprintf("solver: temperature inversion failed at (%d,%d,%d) e=%g",
-						i+b.i0, j+b.j0, k+b.k0, eInt))
-				}
-				Wm := set.MeanW(b.yw)
-				b.Rho.Set(i, j, k, rho)
-				b.U.Set(i, j, k, u)
-				b.V.Set(i, j, k, v)
-				b.W.Set(i, j, k, w)
-				b.T.Set(i, j, k, T)
-				b.P.Set(i, j, k, rho*gasR*T/Wm)
-				b.Wmix.Set(i, j, k, Wm)
-				for n := 0; n < ns; n++ {
-					b.Y[n].Set(i, j, k, b.yw[n])
+					e0 := b.Q[iRhoE].At(i, j, k) * inv
+					eInt := e0 - 0.5*(u*u+v*v+w*w)
+					T, ok := set.TFromE(eInt, yw, b.T.At(i, j, k))
+					if !ok {
+						panic(fmt.Sprintf("solver: temperature inversion failed at (%d,%d,%d) e=%g",
+							i+b.i0, j+b.j0, k+b.k0, eInt))
+					}
+					Wm := set.MeanW(yw)
+					b.Rho.Set(i, j, k, rho)
+					b.U.Set(i, j, k, u)
+					b.V.Set(i, j, k, v)
+					b.W.Set(i, j, k, w)
+					b.T.Set(i, j, k, T)
+					b.P.Set(i, j, k, rho*gasR*T/Wm)
+					b.Wmix.Set(i, j, k, Wm)
+					for n := 0; n < ns; n++ {
+						b.Y[n].Set(i, j, k, yw[n])
+					}
 				}
 			}
 		}
-	}
+	})
 }
 
-// computeTransport evaluates μ, λ and D over the interior plus valid ghosts.
+// computeTransport evaluates μ, λ and D over the interior plus valid ghosts,
+// tiled over the pool. The transport model carries internal scratch, so each
+// worker evaluates through its own clone.
 func (b *Block) computeTransport() {
 	b.Timers.Start("COMPUTE_TRANSPORT")
 	defer b.Timers.Stop("COMPUTE_TRANSPORT")
@@ -99,27 +107,30 @@ func (b *Block) computeTransport() {
 	lo, hi := b.extent()
 	ns := b.ns
 	le := b.cfg.ConstLewis
-	for k := lo[2]; k < hi[2]; k++ {
-		for j := lo[1]; j < hi[1]; j++ {
-			for i := lo[0]; i < hi[0]; i++ {
-				b.gatherY(i, j, k)
-				T := b.T.At(i, j, k)
-				b.trans.Mixture(T, b.P.At(i, j, k), b.yw, &b.props)
-				b.Mu.Set(i, j, k, b.props.Mu)
-				b.Lambda.Set(i, j, k, b.props.Lambda)
-				if le > 0 {
-					// Constant-Lewis ablation: D = λ/(ρ·cp·Le) for every
-					// species (no differential diffusion).
-					d := b.props.Lambda / (b.Rho.At(i, j, k) * b.mech.Set.CpMass(T, b.yw) * le)
-					for n := 0; n < ns; n++ {
-						b.D[n].Set(i, j, k, d)
+	b.plan.Run("COMPUTE_TRANSPORT", par.Box(lo, hi), func(t par.Tile, worker int) {
+		ws := &b.ws[worker]
+		for k := t.Lo[2]; k < t.Hi[2]; k++ {
+			for j := t.Lo[1]; j < t.Hi[1]; j++ {
+				for i := t.Lo[0]; i < t.Hi[0]; i++ {
+					b.gatherYInto(ws.yw, i, j, k)
+					T := b.T.At(i, j, k)
+					ws.trans.Mixture(T, b.P.At(i, j, k), ws.yw, &ws.props)
+					b.Mu.Set(i, j, k, ws.props.Mu)
+					b.Lambda.Set(i, j, k, ws.props.Lambda)
+					if le > 0 {
+						// Constant-Lewis ablation: D = λ/(ρ·cp·Le) for every
+						// species (no differential diffusion).
+						d := ws.props.Lambda / (b.Rho.At(i, j, k) * ws.mech.Set.CpMass(T, ws.yw) * le)
+						for n := 0; n < ns; n++ {
+							b.D[n].Set(i, j, k, d)
+						}
+						continue
 					}
-					continue
-				}
-				for n := 0; n < ns; n++ {
-					b.D[n].Set(i, j, k, b.props.Dmix[n])
+					for n := 0; n < ns; n++ {
+						b.D[n].Set(i, j, k, ws.props.Dmix[n])
+					}
 				}
 			}
 		}
-	}
+	})
 }

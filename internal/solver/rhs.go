@@ -3,6 +3,7 @@ package solver
 import (
 	"github.com/s3dgo/s3d/internal/deriv"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/thermo"
 )
 
@@ -20,7 +21,8 @@ const (
 // primitive and transport-property recovery, gradient evaluation, flux
 // assembly (convective + viscous + diffusive), a second ghost exchange of
 // the fluxes, flux divergence, chemical source terms and NSCBC boundary
-// corrections.
+// corrections. Every stage with interior extent runs tiled over the block's
+// worker-pool plan.
 func (b *Block) computeRHS(t float64) {
 	b.exchangeHalos(b.Q, tagConserved)
 	b.computePrimitives()
@@ -29,11 +31,7 @@ func (b *Block) computeRHS(t float64) {
 	b.computeDiffFlux()
 	b.assembleFluxes()
 
-	all := make([]*grid.Field3, 0, 3*b.nvar)
-	for v := 0; v < b.nvar; v++ {
-		all = append(all, b.flux[v][0], b.flux[v][1], b.flux[v][2])
-	}
-	b.exchangeHalos(all, tagFlux)
+	b.exchangeHalos(b.allFlux, tagFlux)
 
 	b.divergence()
 	if !b.cfg.ChemistryOff {
@@ -41,6 +39,10 @@ func (b *Block) computeRHS(t float64) {
 	}
 	b.applyNSCBC(t)
 }
+
+// EvalRHS runs one full right-hand-side evaluation at simulation time t
+// (benchmark hook: BenchmarkRHSWorkers times exactly what an RK stage costs).
+func (b *Block) EvalRHS(t float64) { b.computeRHS(t) }
 
 // lohi returns the derivative closures for an axis.
 func (b *Block) lohi(a grid.Axis) (deriv.BC, deriv.BC) {
@@ -60,28 +62,47 @@ func (b *Block) diff(dst, f *grid.Field3, a grid.Axis) {
 	deriv.Diff(dst, f, a, b.G.Metric(a), lo, hi)
 }
 
+// diffTile differentiates f along axis a into dst over one tile's box.
+// DiffRange applies identical arithmetic per point for any tiling, so the
+// assembled derivative is bitwise independent of the pool size.
+func (b *Block) diffTile(dst, f *grid.Field3, a grid.Axis, t par.Tile, op deriv.Op) {
+	lo, hi := b.lohi(a)
+	deriv.DiffRange(dst, f, a, b.G.Metric(a), lo, hi, t.Lo, t.Hi, op)
+}
+
+// interior returns the block's interior index box.
+func (b *Block) interior() par.Range {
+	return par.Interior(b.G.Nx, b.G.Ny, b.G.Nz)
+}
+
 // computeGradients evaluates the first derivatives needed by the viscous
 // and diffusive fluxes (velocity, temperature, species, mean molecular
 // weight) and, on axes with physical NSCBC faces, density and pressure
-// gradients for the characteristic boundary treatment.
+// gradients for the characteristic boundary treatment. One tiled sweep per
+// direction: each tile computes every field's derivative over its own box,
+// reusing the source lines while they are cache-hot.
 func (b *Block) computeGradients() {
 	b.Timers.Start("DERIVATIVES")
 	defer b.Timers.Stop("DERIVATIVES")
 	vel := [3]*grid.Field3{b.U, b.V, b.W}
+	r := b.interior()
 	for d := 0; d < 3; d++ {
 		a := grid.Axis(d)
-		for c := 0; c < 3; c++ {
-			b.diff(b.dU[c][d], vel[c], a)
-		}
-		b.diff(b.dT[d], b.T, a)
-		b.diff(b.dW[d], b.Wmix, a)
-		for n := 0; n < b.ns; n++ {
-			b.diff(b.dY[n][d], b.Y[n], a)
-		}
-		if b.needsNSCBC(d) {
-			b.diff(b.dRho[d], b.Rho, a)
-			b.diff(b.dP[d], b.P, a)
-		}
+		needsBC := b.needsNSCBC(d)
+		b.plan.Run("DERIVATIVES", r, func(t par.Tile, _ int) {
+			for c := 0; c < 3; c++ {
+				b.diffTile(b.dU[c][d], vel[c], a, t, deriv.OpSet)
+			}
+			b.diffTile(b.dT[d], b.T, a, t, deriv.OpSet)
+			b.diffTile(b.dW[d], b.Wmix, a, t, deriv.OpSet)
+			for n := 0; n < b.ns; n++ {
+				b.diffTile(b.dY[n][d], b.Y[n], a, t, deriv.OpSet)
+			}
+			if needsBC {
+				b.diffTile(b.dRho[d], b.Rho, a, t, deriv.OpSet)
+				b.diffTile(b.dP[d], b.P, a, t, deriv.OpSet)
+			}
+		})
 	}
 }
 
@@ -102,111 +123,155 @@ func (b *Block) needsNSCBC(a int) bool {
 //
 // with q = −λ∇T + Σ hₙ·Jₙ. The diffusive fluxes J were prepared by
 // computeDiffFlux (figure 4/5 kernel) including the correction velocity.
+//
+// The kernel is fused in the paper's figure-4/5 style: every field shares
+// one flat row index, so each tile makes a single pass over the gradient and
+// flux fields with one index computation per cell, the species enthalpies
+// h_n(T) are evaluated once per cell into a per-worker buffer and reused by
+// all three directions, and each J value is read exactly once per (cell,
+// direction).
 func (b *Block) assembleFluxes() {
 	b.Timers.Start("ASSEMBLE_FLUXES")
 	defer b.Timers.Stop("ASSEMBLE_FLUXES")
 	ns := b.ns
 	species := b.mech.Set.Species
-	h := b.hw
-	for k := 0; k < b.G.Nz; k++ {
-		for j := 0; j < b.G.Ny; j++ {
-			for i := 0; i < b.G.Nx; i++ {
-				rho := b.Rho.At(i, j, k)
-				u := [3]float64{b.U.At(i, j, k), b.V.At(i, j, k), b.W.At(i, j, k)}
-				p := b.P.At(i, j, k)
-				T := b.T.At(i, j, k)
-				mu := b.Mu.At(i, j, k)
-				lam := b.Lambda.At(i, j, k)
-				rhoE := b.Q[iRhoE].At(i, j, k)
+	b.plan.Run("ASSEMBLE_FLUXES", b.interior(), func(t par.Tile, worker int) {
+		h := b.ws[worker].hw
+		for k := t.Lo[2]; k < t.Hi[2]; k++ {
+			for j := t.Lo[1]; j < t.Hi[1]; j++ {
+				row := b.Rho.Idx(0, j, k)
+				for i := t.Lo[0]; i < t.Hi[0]; i++ {
+					// One flat index addresses every same-shape field.
+					p0 := row + i
+					rho := b.Rho.Data[p0]
+					u := [3]float64{b.U.Data[p0], b.V.Data[p0], b.W.Data[p0]}
+					p := b.P.Data[p0]
+					T := b.T.Data[p0]
+					mu := b.Mu.Data[p0]
+					lam := b.Lambda.Data[p0]
+					rhoE := b.Q[iRhoE].Data[p0]
 
-				// Stress tensor (eq. 14): τ = μ(∇u + ∇uᵀ − ⅔δ∇·u).
-				var gu [3][3]float64
-				for c := 0; c < 3; c++ {
-					for d := 0; d < 3; d++ {
-						gu[c][d] = b.dU[c][d].At(i, j, k)
-					}
-				}
-				div := gu[0][0] + gu[1][1] + gu[2][2]
-				var tau [3][3]float64
-				for c := 0; c < 3; c++ {
-					for d := 0; d < 3; d++ {
-						tau[c][d] = mu * (gu[c][d] + gu[d][c])
-					}
-					tau[c][c] -= mu * 2.0 / 3.0 * div
-				}
-
-				for n := 0; n < ns; n++ {
-					h[n] = species[n].H(T)
-				}
-
-				for d := 0; d < 3; d++ {
-					// Heat flux (eq. 20).
-					q := -lam * b.dT[d].At(i, j, k)
-					for n := 0; n < ns; n++ {
-						q += h[n] * b.J[d][n].At(i, j, k)
-					}
-
-					b.flux[iRho][d].Set(i, j, k, rho*u[d])
+					// Stress tensor (eq. 14): τ = μ(∇u + ∇uᵀ − ⅔δ∇·u).
+					var gu [3][3]float64
 					for c := 0; c < 3; c++ {
-						f := rho*u[c]*u[d] - tau[c][d]
-						if c == d {
-							f += p
+						for d := 0; d < 3; d++ {
+							gu[c][d] = b.dU[c][d].Data[p0]
 						}
-						b.flux[iRhoU+c][d].Set(i, j, k, f)
 					}
-					fe := u[d]*(rhoE+p) + q
+					div := gu[0][0] + gu[1][1] + gu[2][2]
+					var tau [3][3]float64
 					for c := 0; c < 3; c++ {
-						fe -= tau[c][d] * u[c]
+						for d := 0; d < 3; d++ {
+							tau[c][d] = mu * (gu[c][d] + gu[d][c])
+						}
+						tau[c][c] -= mu * 2.0 / 3.0 * div
 					}
-					b.flux[iRhoE][d].Set(i, j, k, fe)
-					for n := 0; n < ns-1; n++ {
-						b.flux[iY0+n][d].Set(i, j, k,
-							rho*b.Y[n].At(i, j, k)*u[d]+b.J[d][n].At(i, j, k))
+
+					// Species enthalpies: once per cell, reused by all three
+					// directions' heat fluxes and nowhere re-evaluated.
+					for n := 0; n < ns; n++ {
+						h[n] = species[n].H(T)
+					}
+
+					for d := 0; d < 3; d++ {
+						// Heat flux (eq. 20); each J read feeds both the heat
+						// flux and the species flux below via jd.
+						q := -lam * b.dT[d].Data[p0]
+						for n := 0; n < ns; n++ {
+							q += h[n] * b.J[d][n].Data[p0]
+						}
+
+						b.flux[iRho][d].Data[p0] = rho * u[d]
+						for c := 0; c < 3; c++ {
+							f := rho*u[c]*u[d] - tau[c][d]
+							if c == d {
+								f += p
+							}
+							b.flux[iRhoU+c][d].Data[p0] = f
+						}
+						fe := u[d]*(rhoE+p) + q
+						for c := 0; c < 3; c++ {
+							fe -= tau[c][d] * u[c]
+						}
+						b.flux[iRhoE][d].Data[p0] = fe
+						for n := 0; n < ns-1; n++ {
+							b.flux[iY0+n][d].Data[p0] =
+								rho*b.Y[n].Data[p0]*u[d] + b.J[d][n].Data[p0]
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 }
 
-// divergence sets rhs[v] = −Σ_d ∂flux[v][d]/∂x_d over the interior.
+// PrepareAssembleInputs runs the RHS stages assembleFluxes depends on, so
+// the fused kernel can be benchmarked in isolation.
+func (b *Block) PrepareAssembleInputs() {
+	b.PrepareDiffFluxInputs()
+	b.computeDiffFlux()
+}
+
+// AssembleFluxesOnly invokes just the fused flux-assembly kernel; inputs
+// must have been prepared by PrepareAssembleInputs.
+func (b *Block) AssembleFluxesOnly() { b.assembleFluxes() }
+
+// divergence sets rhs[v] = −Σ_d ∂flux[v][d]/∂x_d over the interior. The x
+// derivative lands with OpSet and y/z accumulate with OpAdd, fusing the
+// former separate scratch-field AXPY passes into the derivative sweeps;
+// per point the arithmetic (set, add, add, negate) is unchanged.
 func (b *Block) divergence() {
 	b.Timers.Start("DERIVATIVES")
 	defer b.Timers.Stop("DERIVATIVES")
-	for v := 0; v < b.nvar; v++ {
-		b.diff(b.rhs[v], b.flux[v][0], grid.X)
-		for d := 1; d < 3; d++ {
-			b.diff(b.scratchF, b.flux[v][d], grid.Axis(d))
-			b.rhs[v].AXPY(1, b.scratchF)
+	b.plan.Run("DIVERGENCE", b.interior(), func(t par.Tile, _ int) {
+		for v := 0; v < b.nvar; v++ {
+			b.diffTile(b.rhs[v], b.flux[v][0], grid.X, t, deriv.OpSet)
+			b.diffTile(b.rhs[v], b.flux[v][1], grid.Y, t, deriv.OpAdd)
+			b.diffTile(b.rhs[v], b.flux[v][2], grid.Z, t, deriv.OpAdd)
+			b.rhs[v].ScaleRange(-1, t.Lo, t.Hi)
 		}
-		b.rhs[v].Scale(-1)
-	}
+	})
 }
 
 // chemSource adds the chemical production terms Wₙ·ω̇ₙ to the species
 // equations (paper eq. 4). Total energy needs no source: the enthalpy in e₀
-// already carries the chemical contribution.
+// already carries the chemical contribution. Each worker evaluates rates
+// through its own mechanism clone; on telemetry steps the heat-release
+// integral accumulates through the plan's ordered reduction slots, so the
+// sum is bitwise identical for any worker count.
 func (b *Block) chemSource() {
 	b.Timers.Start("REACTION_RATE_BOUNDS")
 	defer b.Timers.Stop("REACTION_RATE_BOUNDS")
 	ns := b.ns
 	species := b.mech.Set.Species
-	for k := 0; k < b.G.Nz; k++ {
-		for j := 0; j < b.G.Ny; j++ {
-			for i := 0; i < b.G.Nx; i++ {
-				rho := b.Rho.At(i, j, k)
-				T := b.T.At(i, j, k)
-				for n := 0; n < ns; n++ {
-					b.cw[n] = rho * b.Y[n].At(i, j, k) / species[n].W
-				}
-				b.mech.ProductionRates(T, b.cw, b.wdot)
-				for n := 0; n < ns-1; n++ {
-					b.rhs[iY0+n].Add(i, j, k, species[n].W*b.wdot[n])
-				}
-				if b.collectHRR {
-					b.hrrAcc += b.mech.HeatReleaseRate(T, b.wdot) * b.cellVol(i, j, k)
+	tile := func(t par.Tile, worker int, collect bool) float64 {
+		ws := &b.ws[worker]
+		var hrr float64
+		for k := t.Lo[2]; k < t.Hi[2]; k++ {
+			for j := t.Lo[1]; j < t.Hi[1]; j++ {
+				for i := t.Lo[0]; i < t.Hi[0]; i++ {
+					rho := b.Rho.At(i, j, k)
+					T := b.T.At(i, j, k)
+					for n := 0; n < ns; n++ {
+						ws.cw[n] = rho * b.Y[n].At(i, j, k) / species[n].W
+					}
+					ws.mech.ProductionRates(T, ws.cw, ws.wdot)
+					for n := 0; n < ns-1; n++ {
+						b.rhs[iY0+n].Add(i, j, k, species[n].W*ws.wdot[n])
+					}
+					if collect {
+						hrr += ws.mech.HeatReleaseRate(T, ws.wdot) * b.cellVol(i, j, k)
+					}
 				}
 			}
 		}
+		return hrr
 	}
+	if b.collectHRR {
+		b.hrrAcc = b.plan.RunReduce("REACTION_RATE_BOUNDS", b.interior(),
+			func(t par.Tile, w int) float64 { return tile(t, w, true) })
+		return
+	}
+	b.plan.Run("REACTION_RATE_BOUNDS", b.interior(),
+		func(t par.Tile, w int) { tile(t, w, false) })
 }

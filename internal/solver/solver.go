@@ -16,6 +16,7 @@ import (
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/perf"
 	"github.com/s3dgo/s3d/internal/transport"
 )
@@ -41,6 +42,10 @@ type InflowState struct {
 
 // InflowFunc returns the inflow target at transverse position (y, z) and
 // time t. The returned Y slice must have species length and sum to one.
+// The boundary planes run tiled over the worker pool, so the function may
+// be called concurrently for different (y, z) points; it must be safe for
+// concurrent use (pure functions of their arguments qualify, as do closures
+// over data that is read-only during the run).
 type InflowFunc func(y, z, t float64, target *InflowState)
 
 // DiffFluxKernel selects the diffusive-flux implementation (the figure 4/5
@@ -96,6 +101,13 @@ type Config struct {
 	// of light species like H and H2 that drives the lean-ignition finding
 	// of §6.3).
 	ConstLewis float64
+
+	// Pool is the worker pool the block's kernels are scheduled on; nil
+	// selects the process-wide default (par.Default, sized by the drivers'
+	// -workers flag). All in-process ranks of a decomposed run normally
+	// share one pool so the worker budget is divided fairly. Tests and
+	// benchmarks pass dedicated pools to pin the worker count.
+	Pool *par.Pool
 }
 
 // nVar returns the number of conserved variables: ρ, ρu, ρv, ρw, ρe₀ and
@@ -165,15 +177,31 @@ type Block struct {
 	// stencils are used at that face.
 	loGhost, hiGhost [3]bool
 
-	// pointwise scratch
+	// plan schedules the block's kernels over the worker pool; ws holds the
+	// per-worker scratch (indexed by the worker id the plan passes to each
+	// tile closure), including per-worker clones of the stateful chemistry
+	// and transport models.
+	plan *par.Plan
+	ws   []kernScratch
+
+	// pointwise scratch for the serial helper paths (AcousticDt, SetState);
+	// tiled kernels use the per-worker sets in ws instead.
 	yw, cw, wdot, hw []float64
 	props            transport.Props
 	scratchF         *grid.Field3
 	naiveT1, naiveT2 *grid.Field3 // temporaries of the naive diff-flux kernel
 
+	// allFlux lists every flux component once, in (var, dir) order — the
+	// field set of the second halo exchange, hoisted so computeRHS does not
+	// rebuild the slice every stage.
+	allFlux []*grid.Field3
+
+	// haloBuf holds the four slab buffers of an axis exchange (recv lo/hi,
+	// send lo/hi), grown on demand and reused across steps.
+	haloBuf [4][]float64
+
 	// inflow target cache per (j,k) on the x-min face
 	inflowTargets []InflowState
-	scratchTarget InflowState
 
 	Timers *perf.Timers
 	Step   int
@@ -188,7 +216,23 @@ type Block struct {
 	telemetryOn bool
 	collectHRR  bool         // true during the final RK stage when telemetry is on
 	hrrAcc      float64      // heat-release integral of the last step (W)
-	volW        [3][]float64 // per-axis quadrature widths (lazy, see cellVol)
+	volW        [3][]float64 // per-axis quadrature widths (see cellVol)
+}
+
+// kernScratch is one worker's private scratch for the tiled kernels: the
+// pointwise work arrays plus clones of the stateful chemistry and transport
+// models (Mechanism and Model carry internal buffers and are not safe for
+// concurrent use).
+type kernScratch struct {
+	yw, cw, wdot, hw []float64
+	props            transport.Props
+	mech             *chem.Mechanism
+	trans            *transport.Model
+
+	// NSCBC per-point buffers (normalInviscidDeriv result and flux stencil).
+	nvOut, nvFlux []float64
+	// inflow target for faces without the per-(j,k) cache
+	tgt InflowState
 }
 
 // NewSerial builds a single-block (serial) simulation over the whole grid.
@@ -299,6 +343,32 @@ func newBlock(cfg *Config, local *grid.Grid, cart *comm.Cart, i0, j0, k0 int) *B
 	// T initial guess for Newton inversion.
 	b.T.Fill(300)
 
+	b.allFlux = make([]*grid.Field3, 0, 3*b.nvar)
+	for v := 0; v < b.nvar; v++ {
+		b.allFlux = append(b.allFlux, b.flux[v][0], b.flux[v][1], b.flux[v][2])
+	}
+
+	b.plan = par.NewPlan(cfg.Pool)
+	b.ws = make([]kernScratch, b.plan.Workers())
+	for w := range b.ws {
+		b.ws[w] = kernScratch{
+			yw: make([]float64, ns), cw: make([]float64, ns),
+			wdot: make([]float64, ns), hw: make([]float64, ns),
+			props:  transport.Props{Dmix: make([]float64, ns)},
+			mech:   cfg.Mech.Clone(),
+			trans:  cfg.Trans.Clone(),
+			nvOut:  make([]float64, b.nvar),
+			nvFlux: make([]float64, b.nvar),
+			tgt:    InflowState{Y: make([]float64, ns)},
+		}
+	}
+
+	// Quadrature widths for volume integrals, built here so the tiled
+	// chemistry kernel never races a lazy initialisation.
+	b.volW[0] = lineWidths(local.Xc, local.Lx)
+	b.volW[1] = lineWidths(local.Yc, local.Ly)
+	b.volW[2] = lineWidths(local.Zc, local.Lz)
+
 	// Resolve per-face treatment.
 	for a := 0; a < 3; a++ {
 		for s := 0; s < 2; s++ {
@@ -407,8 +477,15 @@ func (b *Block) AcousticDt() float64 {
 }
 
 // gatherY copies the full species vector at a point into b.yw.
-func (b *Block) gatherY(i, j, k int) {
+func (b *Block) gatherY(i, j, k int) { b.gatherYInto(b.yw, i, j, k) }
+
+// gatherYInto copies the full species vector at a point into dst (the
+// worker-private variant used by tiled kernels).
+func (b *Block) gatherYInto(dst []float64, i, j, k int) {
 	for n := 0; n < b.ns; n++ {
-		b.yw[n] = b.Y[n].At(i, j, k)
+		dst[n] = b.Y[n].At(i, j, k)
 	}
 }
+
+// Plan returns the block's kernel execution plan (pool size, tile metrics).
+func (b *Block) Plan() *par.Plan { return b.plan }

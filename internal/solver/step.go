@@ -6,6 +6,7 @@ import (
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/deriv"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/rk"
 )
 
@@ -44,19 +45,22 @@ func (b *Block) StepOnce(dt float64) {
 		b.computeRHS(stageTime)
 	}, func(stage int, a, bb, _ float64) {
 		b.Timers.Start("RK_UPDATE")
-		for v := 0; v < b.nvar; v++ {
-			dq, q, r := b.dQ[v].Data, b.Q[v].Data, b.rhs[v].Data
-			// Update interior points only; ghosts are refreshed by exchange.
-			for k := 0; k < b.G.Nz; k++ {
-				for j := 0; j < b.G.Ny; j++ {
-					row := b.Q[v].Idx(0, j, k)
-					for i := row; i < row+b.G.Nx; i++ {
-						dq[i] = a*dq[i] + dt*r[i]
-						q[i] += bb * dq[i]
+		// Update interior points only; ghosts are refreshed by exchange.
+		// Pure per-point arithmetic, so the tiling cannot change the bits.
+		b.plan.Run("RK_UPDATE", b.interior(), func(t par.Tile, _ int) {
+			for v := 0; v < b.nvar; v++ {
+				dq, q, r := b.dQ[v].Data, b.Q[v].Data, b.rhs[v].Data
+				for k := t.Lo[2]; k < t.Hi[2]; k++ {
+					for j := t.Lo[1]; j < t.Hi[1]; j++ {
+						row := b.Q[v].Idx(t.Lo[0], j, k)
+						for i := row; i < row+(t.Hi[0]-t.Lo[0]); i++ {
+							dq[i] = a*dq[i] + dt*r[i]
+							q[i] += bb * dq[i]
+						}
 					}
 				}
 			}
-		}
+		})
 		b.Timers.Stop("RK_UPDATE")
 		b.StageWall[stage] = time.Since(stageStart).Seconds()
 	})
@@ -81,6 +85,7 @@ func (b *Block) ApplyFilter() {
 	if sigma <= 0 {
 		sigma = 1
 	}
+	r := b.interior()
 	for d := 0; d < 3; d++ {
 		a := grid.Axis(d)
 		if b.G.Dim(a) == 1 {
@@ -89,18 +94,16 @@ func (b *Block) ApplyFilter() {
 		b.exchangeHalos(b.Q, tagConserved)
 		lo, hi := b.lohi(a)
 		for v := 0; v < b.nvar; v++ {
-			deriv.Filter(b.scratchF, b.Q[v], a, sigma, lo, hi)
-			b.copyInterior(b.Q[v], b.scratchF)
-		}
-	}
-}
-
-func (b *Block) copyInterior(dst, src *grid.Field3) {
-	for k := 0; k < b.G.Nz; k++ {
-		for j := 0; j < b.G.Ny; j++ {
-			rs := src.Idx(0, j, k)
-			rd := dst.Idx(0, j, k)
-			copy(dst.Data[rd:rd+b.G.Nx], src.Data[rs:rs+b.G.Nx])
+			// Two tiled passes with a barrier between: the filter reads Q
+			// while writing scratchF, then the copy-back writes Q. Fusing
+			// them would let one tile overwrite Q values a neighbouring
+			// tile's stencil still needs.
+			b.plan.Run("FILTER", r, func(t par.Tile, _ int) {
+				deriv.FilterRange(b.scratchF, b.Q[v], a, sigma, lo, hi, t.Lo, t.Hi, deriv.OpSet)
+			})
+			b.plan.Run("FILTER", r, func(t par.Tile, _ int) {
+				b.Q[v].CopyRange(b.scratchF, t.Lo, t.Hi)
+			})
 		}
 	}
 }

@@ -21,6 +21,13 @@ import (
 func (b *Block) EnableTelemetry(reg *obs.Registry) {
 	b.telemetryOn = true
 	b.Metrics = reg
+	if reg != nil {
+		// Export the execution layer too: pool utilization gauges and the
+		// per-kernel tile counters (par.workers, par.workers_busy,
+		// par.tiles_total, par.tiles.<kernel>).
+		b.plan.Pool().AttachMetrics(reg)
+		b.plan.AttachMetrics(reg)
+	}
 }
 
 // TelemetryEnabled reports whether EnableTelemetry was called.
@@ -64,13 +71,10 @@ func (b *Block) recordStepMetrics(dt, wall float64) {
 // cellVol returns the quadrature volume of interior cell (i, j, k): the
 // product of per-axis trapezoidal widths of the block's coordinate lines.
 // Degenerate axes (a single point, the quasi-2D z direction) take the full
-// spec extent so integrals keep their physical dimensions.
+// spec extent so integrals keep their physical dimensions. The width tables
+// are built at block construction (a lazy init here would race the tiled
+// chemistry kernel).
 func (b *Block) cellVol(i, j, k int) float64 {
-	if b.volW[0] == nil {
-		b.volW[0] = lineWidths(b.G.Xc, b.G.Lx)
-		b.volW[1] = lineWidths(b.G.Yc, b.G.Ly)
-		b.volW[2] = lineWidths(b.G.Zc, b.G.Lz)
-	}
 	return b.volW[0][i] * b.volW[1][j] * b.volW[2][k]
 }
 

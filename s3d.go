@@ -39,11 +39,24 @@ import (
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/reactor"
 	"github.com/s3dgo/s3d/internal/solver"
 	"github.com/s3dgo/s3d/internal/stats"
 	"github.com/s3dgo/s3d/internal/transport"
 )
+
+// SetWorkers sizes the process-wide worker pool that executes the tiled
+// solver kernels (see DESIGN.md, "Node-level parallel execution"). n <= 0
+// selects runtime.NumCPU(). The pool is shared by every simulation in the
+// process — including all in-process ranks of RunDecomposed, which divide
+// it fairly rather than oversubscribing the node. Call before New or
+// RunDecomposed; resizing tears down the previous pool once its blocks are
+// idle. Solutions are bitwise independent of the worker count.
+func SetWorkers(n int) { par.SetDefaultWorkers(n) }
+
+// Workers reports the size of the process-wide kernel worker pool.
+func Workers() int { return par.DefaultWorkers() }
 
 // Mechanism bundles a chemical mechanism with its thermodynamic and
 // transport data, playing the role of the CHEMKIN/TRANSPORT linkage of the

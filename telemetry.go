@@ -99,15 +99,17 @@ func (s *Simulation) StartTelemetry(opt TelemetryOptions) (*Probe, error) {
 	for k, v := range opt.Config {
 		manifest[k] = v
 	}
+	info := obs.NewRunInfo(opt.Case, manifest)
+	info.Workers = s.blk.Plan().Workers()
 	if opt.Trace != nil {
-		opt.Trace.RunStart(opt.Case, manifest)
+		opt.Trace.RunStartInfo(info)
 	}
 	if opt.MonitorAddr != "" {
 		mon, err := obs.StartMonitor(opt.MonitorAddr, p.reg)
 		if err != nil {
 			return nil, err
 		}
-		mon.SetRun(obs.NewRunInfo(opt.Case, manifest))
+		mon.SetRun(info)
 		p.mon = mon
 	}
 	return p, nil
@@ -241,6 +243,14 @@ func (s *Simulation) StableDtGlobal() float64 {
 // breakdown of paper figure 2). For cross-rank aggregation take Snapshot
 // on each rank and Merge into a fresh aggregator-owned Timers.
 func (s *Simulation) PerfTimers() *perf.Timers { return s.blk.Timers }
+
+// PoolPerfTimers returns the worker-pool side of the breakdown: per-kernel
+// busy time summed across the pool workers executing this simulation's
+// tiles. Comparing a kernel's pooled busy time with the wall time of the
+// same region in PerfTimers gives its node-level parallel efficiency. The
+// snapshot covers the whole (shared) pool, so in decomposed runs it
+// aggregates every in-process rank.
+func (s *Simulation) PoolPerfTimers() *perf.Timers { return s.blk.Plan().Pool().PerfSnapshot() }
 
 // configManifest flattens the simulation configuration for run_start.
 func (s *Simulation) configManifest() map[string]string {
