@@ -37,6 +37,7 @@ import (
 	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/pario"
 	"github.com/s3dgo/s3d/internal/perf"
+	"github.com/s3dgo/s3d/internal/prof"
 	"github.com/s3dgo/s3d/internal/sdf"
 	"github.com/s3dgo/s3d/internal/solver"
 	"github.com/s3dgo/s3d/internal/stats"
@@ -452,6 +453,63 @@ func BenchmarkObsOverhead(b *testing.B) {
 		if overhead > 2.0 {
 			b.Errorf("telemetry overhead %.2f%% exceeds the 2%% budget (off %.3fms on %.3fms per step)",
 				overhead, off/measure*1e3, on/measure*1e3)
+		}
+	}
+}
+
+// BenchmarkProfOverhead measures the cost of the call-path profiler on the
+// RHS evaluation three ways — no profiler attached (baseline), attached
+// but disabled (the always-compiled-in cost: one atomic load per region),
+// and attached and recording — and fails if the disabled overhead exceeds
+// 1% or the enabled overhead exceeds 5%. Min-of-trials on every side keeps
+// scheduler noise out of the comparison.
+func BenchmarkProfOverhead(b *testing.B) {
+	const warm, measure, trials = 1, 4, 4
+	pool := par.NewPool(1)
+	defer pool.Close()
+	run := func(blk *solver.Block) float64 {
+		for i := 0; i < warm; i++ {
+			blk.EvalRHS(0)
+		}
+		start := time.Now()
+		for i := 0; i < measure; i++ {
+			blk.EvalRHS(0)
+		}
+		return time.Since(start).Seconds()
+	}
+	for i := 0; i < b.N; i++ {
+		base, disabled, enabled := math.Inf(1), math.Inf(1), math.Inf(1)
+		for t := 0; t < trials; t++ {
+			blk := rhsBlock(b, pool)
+			if w := run(blk); w < base {
+				base = w
+			}
+
+			blk = rhsBlock(b, pool)
+			pr := prof.New()
+			pr.SetEnabled(false)
+			blk.EnableProfiling(pr.NewTrack(prof.GroupRank, "rank0"))
+			if w := run(blk); w < disabled {
+				disabled = w
+			}
+
+			blk = rhsBlock(b, pool)
+			pr = prof.New()
+			blk.EnableProfiling(pr.NewTrack(prof.GroupRank, "rank0"))
+			if w := run(blk); w < enabled {
+				enabled = w
+			}
+		}
+		dOver := (disabled - base) / base * 100
+		eOver := (enabled - base) / base * 100
+		b.ReportMetric(base/measure*1e3, "base_ms/rhs")
+		b.ReportMetric(dOver, "disabled_overhead_%")
+		b.ReportMetric(eOver, "enabled_overhead_%")
+		if dOver > 1.0 {
+			b.Errorf("disabled profiler overhead %.2f%% exceeds the 1%% budget", dOver)
+		}
+		if eOver > 5.0 {
+			b.Errorf("enabled profiler overhead %.2f%% exceeds the 5%% budget", eOver)
 		}
 	}
 }

@@ -21,4 +21,14 @@ go test -race -timeout 45m ./...
 echo "== S3D_WORKERS=4 go test -race ./internal/par ./internal/solver"
 S3D_WORKERS=4 go test -race -timeout 45m ./internal/par ./internal/solver
 
+# Profiler gate: a tiny decomposed cmd/s3d run with -profile must emit a
+# trace_event timeline that parses with at least one span per rank (the
+# smoke test validates the artifacts), and the span API must stay within
+# its overhead budget (<=1% disabled, <=5% enabled) on the RHS benchmark.
+echo "== go test -race -run TestProfileSmoke ./cmd/s3d"
+go test -race -timeout 10m -run TestProfileSmoke ./cmd/s3d
+
+echo "== go test -race -run xxx -bench BenchmarkProfOverhead -benchtime 1x ."
+go test -race -timeout 15m -run xxx -bench BenchmarkProfOverhead -benchtime 1x .
+
 echo "CHECK OK"

@@ -25,6 +25,8 @@ import (
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/perf"
+	"github.com/s3dgo/s3d/internal/prof"
 	"github.com/s3dgo/s3d/internal/stats"
 	"github.com/s3dgo/s3d/internal/turb"
 	"github.com/s3dgo/s3d/internal/viz"
@@ -47,6 +49,7 @@ func main() {
 	outDir := flag.String("out", "out_bunsen", "output directory")
 	tracePath := flag.String("trace", "", "write per-case JSONL step traces (case letter inserted before the extension)")
 	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP while a case runs (e.g. :8080)")
+	profileDir := flag.String("profile", "", "record the call-path profiler per case; artifacts land in <dir>/caseA, <dir>/caseB, <dir>/caseC")
 	workers := flag.Int("workers", 0, "kernel worker-pool size (0: all CPUs)")
 	flag.Parse()
 
@@ -61,7 +64,7 @@ func main() {
 		printTable1(lam)
 	}
 	if *surface || *gradc || all {
-		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr)
+		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr, *profileDir)
 	}
 }
 
@@ -141,7 +144,11 @@ func printTable1(lam flame1d.Properties) {
 	}
 }
 
-func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr string) {
+func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr, profileDir string) {
+	var machines []perf.Machine
+	if profileDir != "" {
+		machines = s3d.ProfileMachines()
+	}
 	for _, id := range []byte{'A', 'B', 'C'} {
 		p, err := s3d.BunsenProblem(s3d.BunsenOptions{
 			Case: id, Nx: nx, Ny: ny, Nz: 1,
@@ -155,6 +162,11 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 			log.Fatal(err)
 		}
 		fmt.Printf("\ncase %c: %dx%d, %d steps\n", id, nx, ny, steps)
+		var profiler *prof.Profiler
+		if profileDir != "" {
+			profiler = s3d.NewProfiler()
+			sim.EnableProfiling(profiler, "rank0")
+		}
 		var tr *obs.Trace
 		if tracePath != "" {
 			if tr, err = obs.CreateTrace(casePath(tracePath, id)); err != nil {
@@ -174,6 +186,9 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 			}
 			if addr := probe.MonitorAddr(); addr != "" {
 				fmt.Printf("  live monitor on http://%s/status\n", addr)
+			}
+			if profiler != nil {
+				probe.MountProfile(profiler, sim.ProfileShape(), machines)
 			}
 		}
 		for done := 0; done < steps; done += 50 {
@@ -197,6 +212,13 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 			if err := tr.Close(); err != nil {
 				log.Fatal(err)
 			}
+		}
+		if profiler != nil {
+			dir := filepath.Join(profileDir, fmt.Sprintf("case%c", id))
+			if err := sim.ExportProfile(dir, profiler, machines); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote profile artifacts to %s\n", dir)
 		}
 		lo, hi, _ := sim.MinMax("T")
 		fmt.Printf("  final T ∈ [%.0f, %.0f] K, t = %.3g s\n", lo, hi, sim.Time())

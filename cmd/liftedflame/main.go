@@ -23,6 +23,7 @@ import (
 	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/prof"
 	"github.com/s3dgo/s3d/internal/stats"
 	"github.com/s3dgo/s3d/internal/viz"
 )
@@ -35,6 +36,7 @@ func main() {
 	scatter := flag.Bool("scatter", true, "write figure-11 scatter/conditional data")
 	tracePath := flag.String("trace", "", "write a JSONL step trace to this file")
 	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :8080)")
+	profileDir := flag.String("profile", "", "record the call-path profiler and write trace.json/callpath/roofline artifacts to this directory")
 	workers := flag.Int("workers", 0, "kernel worker-pool size (0: all CPUs)")
 	flag.Parse()
 
@@ -52,6 +54,11 @@ func main() {
 	sim, err := p.NewSimulation()
 	if err != nil {
 		log.Fatal(err)
+	}
+	var profiler *prof.Profiler
+	if *profileDir != "" {
+		profiler = s3d.NewProfiler()
+		sim.EnableProfiling(profiler, "rank0")
 	}
 	var tr *obs.Trace
 	if *tracePath != "" {
@@ -73,6 +80,9 @@ func main() {
 		}
 		if addr := probe.MonitorAddr(); addr != "" {
 			fmt.Printf("live monitor on http://%s/status\n", addr)
+		}
+		if profiler != nil {
+			probe.MountProfile(profiler, sim.ProfileShape(), s3d.ProfileMachines())
 		}
 	}
 	fmt.Printf("lifted H2/air jet: %dx%d grid, %d steps\n", *nx, *ny, *steps)
@@ -100,6 +110,12 @@ func main() {
 		if err := probe.Close("completed"); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if profiler != nil {
+		if err := sim.ExportProfile(*profileDir, profiler, s3d.ProfileMachines()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote profile artifacts to %s\n", *profileDir)
 	}
 
 	if err := renderFig10(sim, *outDir); err != nil {

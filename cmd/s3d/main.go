@@ -4,9 +4,12 @@
 // reporting min/max monitoring quantities and writing SDF checkpoints.
 //
 // Observability (see README.md "Observability"): -trace writes one JSONL
-// record per solver step, -monitor serves the live metrics over HTTP, and
+// record per solver step, -monitor serves the live metrics over HTTP,
 // -perf-report prints the figure-2-style per-region timer breakdown
-// (rank-aggregated via Snapshot/Merge in decomposed runs).
+// (rank-aggregated via Snapshot/Merge in decomposed runs), and -profile
+// records the call-path profiler and writes its artifacts — a Chrome
+// trace_event timeline, the inclusive/exclusive call-path report and the
+// measured-vs-modelled roofline table — into the given directory.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/pario"
 	"github.com/s3dgo/s3d/internal/perf"
+	"github.com/s3dgo/s3d/internal/prof"
 	"github.com/s3dgo/s3d/internal/sdf"
 )
 
@@ -40,6 +44,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL step trace to this file")
 	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :8080)")
 	perfReport := flag.Bool("perf-report", false, "print the per-region timer breakdown at exit")
+	profileDir := flag.String("profile", "", "record the call-path profiler and write trace.json/callpath/roofline artifacts to this directory")
 	workers := flag.Int("workers", 0, "kernel worker-pool size, shared across in-process ranks (0: all CPUs)")
 	flag.Parse()
 
@@ -59,12 +64,17 @@ func main() {
 	telemetryOn := tr != nil || *monitorAddr != "" || *perfReport
 
 	if *ranks != "" {
-		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport)
+		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport, *profileDir)
 		return
 	}
 	sim, err := prob.NewSimulation()
 	if err != nil {
 		log.Fatal(err)
+	}
+	var profiler *prof.Profiler
+	if *profileDir != "" {
+		profiler = s3d.NewProfiler()
+		sim.EnableProfiling(profiler, "rank0")
 	}
 	if *resume != "" {
 		in, err := os.Open(*resume)
@@ -79,7 +89,12 @@ func main() {
 	}
 	// Checkpoint bytes are routed through the §5.1 caching layer when
 	// telemetry is on, so the trace carries genuine pario counters.
-	ckpt := &checkpointer{outDir: *outDir, throughPario: telemetryOn}
+	ckpt := &checkpointer{outDir: *outDir, throughPario: telemetryOn || profiler != nil}
+	if profiler != nil {
+		// Checkpoint I/O runs on the goroutine driving the simulation, so
+		// its PARIO_* spans ride on the rank's own track.
+		ckpt.ptrack = sim.ProfTrack()
+	}
 	var probe *s3d.Probe
 	if telemetryOn {
 		if probe, err = sim.StartTelemetry(s3d.TelemetryOptions{
@@ -93,6 +108,9 @@ func main() {
 		}
 		if addr := probe.MonitorAddr(); addr != "" {
 			fmt.Printf("live monitor on http://%s/status\n", addr)
+		}
+		if profiler != nil {
+			probe.MountProfile(profiler, sim.ProfileShape(), s3d.ProfileMachines())
 		}
 	}
 	dt := 0.4 * sim.StableDt()
@@ -134,6 +152,12 @@ func main() {
 			fmt.Printf("\nworker-pool busy time per kernel (%d workers):\n%s",
 				s3d.Workers(), sim.PoolPerfTimers().Report())
 		}
+	}
+	if profiler != nil {
+		if err := sim.ExportProfile(*profileDir, profiler, s3d.ProfileMachines()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote profile artifacts to %s (trace.json, callpath.txt, callpath.csv, roofline.txt)\n", *profileDir)
 	}
 }
 
@@ -189,20 +213,35 @@ func buildProblem(name string, nx, ny, nz int) *s3d.Problem {
 	}
 }
 
-func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool) {
+func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool, profileDir string) {
 	var dims [3]int
 	if n, err := fmt.Sscanf(strings.ToLower(ranks), "%dx%dx%d", &dims[0], &dims[1], &dims[2]); n != 3 || err != nil {
 		log.Fatalf("bad -ranks %q (want e.g. 2x2x1)", ranks)
 	}
 	fmt.Printf("decomposed run on %v ranks\n", dims)
 	telemetryOn := tr != nil || monitorAddr != ""
+	var profiler *prof.Profiler
+	var machines []perf.Machine
+	if profileDir != "" {
+		profiler = s3d.NewProfiler()
+		machines = s3d.ProfileMachines()
+	}
 	// Rank 0 carries the trace and monitor; every rank contributes its
-	// timer snapshot to the aggregate report.
+	// timer snapshot to the aggregate report and its own profiler track.
 	var mu sync.Mutex
 	agg := perf.NewTimers()
 	var poolAgg *perf.Timers
+	var shape prof.RunShape
 	nRanks := dims[0] * dims[1] * dims[2]
 	err := s3d.RunDecomposed(prob.Config, dims, func(r *s3d.RankSim) {
+		if profiler != nil {
+			r.EnableProfiling(profiler, fmt.Sprintf("rank%d", r.Rank))
+			if r.Rank == 0 {
+				mu.Lock()
+				shape = r.ProfileShape()
+				mu.Unlock()
+			}
+		}
 		r.SetInitial(prob.Initial, prob.InitPressure)
 		dt := 0.4 * r.StableDtGlobal()
 		if r.Rank == 0 && telemetryOn {
@@ -215,6 +254,9 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 			})
 			if err != nil {
 				panic(err)
+			}
+			if profiler != nil {
+				probe.MountProfile(profiler, r.ProfileShape(), machines)
 			}
 			probe.Advance(steps, dt)
 			if err := probe.Close("completed"); err != nil {
@@ -246,6 +288,12 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 				s3d.Workers(), nRanks, poolAgg.Report())
 		}
 	}
+	if profiler != nil {
+		if err := prof.Export(profileDir, profiler, shape, machines); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote profile artifacts to %s (trace.json, callpath.txt, callpath.csv, roofline.txt)\n", profileDir)
+	}
 }
 
 // checkpointer writes restart + analysis files, optionally routing the
@@ -254,6 +302,7 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 type checkpointer struct {
 	outDir       string
 	throughPario bool
+	ptrack       *prof.Track // when non-nil, pario client ops record spans here
 
 	mu    sync.Mutex
 	pstat obs.ParioStats
@@ -310,6 +359,9 @@ func (c *checkpointer) writeFile(path string, data []byte) error {
 	var st obs.ParioStats
 	err := comm.NewWorld(1).Run(func(cm *comm.Comm) {
 		cl := pario.NewCacheClient(cm, file, pario.CacheConfig{PageBytes: 64 << 10})
+		if c.ptrack != nil {
+			cl.SetProfiler(c.ptrack)
+		}
 		const chunk = 8 << 10
 		for off := 0; off < len(data); off += chunk {
 			end := off + chunk

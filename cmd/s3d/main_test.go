@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestProfileSmoke drives the real CLI end-to-end on a tiny decomposed
+// inert box with -profile and validates the emitted artifacts: the
+// trace_event JSON must parse, carry a track per rank and per pool worker,
+// and show at least one complete span on every rank including the comm
+// wait and figure-2 kernel regions; the call-path and roofline reports
+// must render.
+func TestProfileSmoke(t *testing.T) {
+	dir := t.TempDir()
+	profDir := filepath.Join(dir, "prof")
+	os.Args = []string{"s3d",
+		"-problem", "box", "-nx", "24", "-ny", "16", "-nz", "1",
+		"-steps", "2", "-ranks", "2x1x1", "-workers", "2",
+		"-out", filepath.Join(dir, "out"),
+		"-profile", profDir,
+	}
+	main()
+
+	raw, err := os.ReadFile(filepath.Join(profDir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace.json does not parse: %v", err)
+	}
+
+	type track struct{ pid, tid int }
+	trackName := map[track]string{}
+	spansPerTrack := map[track]int{}
+	regions := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		key := track{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				trackName[key], _ = ev.Args["name"].(string)
+			}
+		case "X":
+			spansPerTrack[key]++
+			regions[ev.Name] = true
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+
+	byName := map[string]int{}
+	for key, name := range trackName {
+		byName[name] = spansPerTrack[key]
+	}
+	for _, want := range []string{"rank0", "rank1", "worker0", "worker1"} {
+		n, ok := byName[want]
+		if !ok {
+			t.Fatalf("trace has no %s track (tracks: %v)", want, trackName)
+		}
+		if n < 1 {
+			t.Fatalf("track %s has no spans", want)
+		}
+	}
+	for _, want := range []string{"STEP", "RHS", "GHOST_EXCHANGE", "MPI_WAIT", "COMPUTE_PRIMITIVES", "RK_UPDATE"} {
+		if !regions[want] {
+			t.Fatalf("trace missing region %q (got %v)", want, regions)
+		}
+	}
+
+	callpath, err := os.ReadFile(filepath.Join(profDir, "callpath.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"RHS", "imb%", "rank0"} {
+		if !strings.Contains(string(callpath), want) {
+			t.Fatalf("callpath.txt missing %q:\n%s", want, callpath)
+		}
+	}
+	if _, err := os.ReadFile(filepath.Join(profDir, "callpath.csv")); err != nil {
+		t.Fatal(err)
+	}
+	roofline, err := os.ReadFile(filepath.Join(profDir, "roofline.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"COMPUTE_PRIMITIVES", "XT3", "host"} {
+		if !strings.Contains(string(roofline), want) {
+			t.Fatalf("roofline.txt missing %q:\n%s", want, roofline)
+		}
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/s3dgo/s3d/internal/prof"
 )
 
 // World owns the communication state for a fixed number of ranks.
@@ -155,7 +157,23 @@ func (w *World) Run(body func(c *Comm)) error {
 type Comm struct {
 	world *World
 	rank  int
+
+	// prof, when attached, records MPI_* spans on the rank's profiler
+	// track, so blocked time is charged to the call path that blocked
+	// (nil-track Begin is free).
+	prof *prof.Track
 }
+
+// AttachProfiler records this rank's communication calls (MPI_ISEND,
+// MPI_WAIT, MPI_ALLREDUCE, MPI_BARRIER, MPI_ALLGATHER) as spans on tr. The
+// track must be the calling rank's: spans land on whatever call path the
+// rank currently has open.
+func (c *Comm) AttachProfiler(tr *prof.Track) { c.prof = tr }
+
+// WithoutProfiler returns a handle on the same world and rank that records
+// no spans — for server goroutines (the pario I/O threads) that share a
+// rank's communicator but run concurrently with the rank's own call stack.
+func (c *Comm) WithoutProfiler() *Comm { return &Comm{world: c.world, rank: c.rank} }
 
 // Rank returns this rank's id.
 func (c *Comm) Rank() int { return c.rank }
@@ -196,9 +214,12 @@ type Request struct {
 	src, tag int
 	buf      []float64
 	// telemetry attribution: the posting rank's world (nil for sends, which
-	// complete at post time).
+	// complete at post time) and the posting rank's profiler track, so the
+	// blocked time inside Wait lands on the call path that posted the
+	// receive.
 	w    *World
 	rank int
+	prof *prof.Track
 }
 
 // Isend posts a non-blocking send of data to rank dst with a tag. The data
@@ -209,6 +230,8 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 	if dst < 0 || dst >= c.world.n {
 		panic(fmt.Sprintf("comm: rank %d Isend to invalid rank %d", c.rank, dst))
 	}
+	sp := c.prof.Begin("MPI_ISEND")
+	defer sp.End()
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	box := c.world.boxes[dst]
@@ -228,7 +251,7 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 		panic(fmt.Sprintf("comm: rank %d Irecv from invalid rank %d", c.rank, src))
 	}
 	return &Request{box: c.world.boxes[c.rank], src: src, tag: tag, buf: buf,
-		w: c.world, rank: c.rank}
+		w: c.world, rank: c.rank, prof: c.prof}
 }
 
 // Wait blocks until the request completes. For receives it matches the
@@ -239,6 +262,8 @@ func (r *Request) Wait() {
 	if r.done {
 		return
 	}
+	sp := r.prof.Begin("MPI_WAIT")
+	defer sp.End()
 	start := time.Now()
 	box := r.box
 	box.mu.Lock()
@@ -359,6 +384,8 @@ func newCollective(n int) *collective {
 // the reduced result on every rank. All ranks must call with equal lengths.
 // The call's duration is charged to the rank's collective-time counter.
 func (c *Comm) Allreduce(op Op, vals []float64) {
+	sp := c.prof.Begin("MPI_ALLREDUCE")
+	defer sp.End()
 	start := time.Now()
 	defer func() {
 		c.world.collNs[c.rank].Add(time.Since(start).Nanoseconds())
@@ -400,6 +427,8 @@ func (c *Comm) Allreduce(op Op, vals []float64) {
 
 // Barrier blocks until all ranks arrive.
 func (c *Comm) Barrier() {
+	sp := c.prof.Begin("MPI_BARRIER")
+	defer sp.End()
 	c.world.barriers[c.rank].Add(1)
 	v := []float64{0}
 	c.Allreduce(Sum, v)
@@ -408,6 +437,8 @@ func (c *Comm) Barrier() {
 // Allgather collects each rank's slice; the result indexed by rank is
 // returned on every rank. All ranks must call with non-nil slices.
 func (c *Comm) Allgather(vals []float64) [][]float64 {
+	sp := c.prof.Begin("MPI_ALLGATHER")
+	defer sp.End()
 	start := time.Now()
 	defer func() {
 		c.world.collNs[c.rank].Add(time.Since(start).Nanoseconds())

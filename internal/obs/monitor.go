@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 )
@@ -17,13 +18,17 @@ import (
 //
 // Endpoints:
 //
-//	GET /metrics  — Snapshot of the registry (counters, gauges, histograms)
-//	GET /status   — the most recent StepEvent plus run metadata
-//	GET /healthz  — 200 "ok" liveness probe
+//	GET /metrics       — Snapshot of the registry (counters, gauges, histograms)
+//	GET /metrics.prom  — the same snapshot in Prometheus text exposition format
+//	GET /status        — the most recent StepEvent plus run metadata
+//	GET /healthz       — 200 "ok" liveness probe
+//	GET /debug/pprof/  — the standard Go runtime profiles (CPU, heap, goroutine,
+//	                     block, mutex), so `go tool pprof` works against a live run
 type Monitor struct {
 	reg *Registry
 	srv *http.Server
 	ln  net.Listener
+	mux *http.ServeMux
 
 	mu    sync.Mutex
 	last  *StepEvent
@@ -43,11 +48,21 @@ func StartMonitor(addr string, reg *Registry) (*Monitor, error) {
 	m := &Monitor{reg: reg, ln: ln, start: time.Now(), done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/metrics.prom", m.handlePrometheus)
 	mux.HandleFunc("/status", m.handleStatus)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	// Runtime profiling rides on the monitor port: enabling -monitor is the
+	// opt-in for /debug/pprof/ too (the default ServeMux is deliberately not
+	// used, so these are the only pprof routes the process exposes).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	m.mux = mux
 	m.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(m.done)
@@ -82,8 +97,18 @@ func (m *Monitor) Close() error {
 	return err
 }
 
+// Handle registers an additional handler on the monitor's mux (the
+// profiler's live endpoints mount here). http.ServeMux registration is
+// safe while the server runs.
+func (m *Monitor) Handle(pattern string, h http.Handler) { m.mux.Handle(pattern, h) }
+
 func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, m.reg.Snapshot())
+}
+
+func (m *Monitor) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = m.reg.Snapshot().WritePrometheus(w)
 }
 
 // statusDoc is the /status response body.

@@ -202,9 +202,18 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestReadTraceBadLine(t *testing.T) {
-	_, err := ReadTrace(bytes.NewReader([]byte("{\"kind\":\"step\"}\nnot json\n")))
+	// A garbage tail (run killed mid-write) must not lose the valid prefix
+	// or fail; mid-stream garbage with valid records after it must error.
+	recs, err := ReadTrace(bytes.NewReader([]byte("{\"kind\":\"step\"}\nnot json\n")))
+	if err != nil {
+		t.Fatalf("corrupt tail must recover the prefix: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("prefix records = %d, want 1", len(recs))
+	}
+	_, err = ReadTrace(bytes.NewReader([]byte("{\"kind\":\"step\"}\nnot json\n{\"kind\":\"step\"}\n")))
 	if err == nil {
-		t.Fatal("expected parse error")
+		t.Fatal("mid-stream corruption must surface an error")
 	}
 }
 

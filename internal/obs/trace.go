@@ -101,7 +101,7 @@ type RunInfo struct {
 	Modified  bool              `json:"modified,omitempty"` // VCS tree had local edits
 	NumCPU    int               `json:"num_cpu"`
 	Workers   int               `json:"workers,omitempty"` // kernel worker-pool size
-	Config    map[string]string `json:"config"` // flattened config manifest
+	Config    map[string]string `json:"config"`            // flattened config manifest
 }
 
 // CheckpointEvent is the checkpoint payload.
@@ -239,12 +239,19 @@ func NewRunInfo(caseName string, config map[string]string) *RunInfo {
 	return info
 }
 
-// ReadTrace parses a JSONL trace stream.
+// ReadTrace parses a JSONL trace stream, tolerating a corrupt tail: a run
+// killed mid-write leaves a truncated final line, and the valid prefix must
+// still summarise. Unparseable lines with no valid record after them (the
+// truncated-tail case, including an over-long final fragment) are dropped
+// silently and the prefix is returned with a nil error. An unparseable line
+// *followed by* valid records means mid-stream corruption: the valid prefix
+// before the damage is returned along with an error naming the line.
 func ReadTrace(r io.Reader) ([]Record, error) {
 	var recs []Record
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	line := 0
+	var badErr error
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -253,11 +260,18 @@ func ReadTrace(r io.Reader) ([]Record, error) {
 		}
 		var rec Record
 		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return recs, fmt.Errorf("obs: trace line %d: %w", line, err)
+			if badErr == nil {
+				badErr = fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+			continue
+		}
+		if badErr != nil {
+			// Valid data after the damage: not a truncated tail.
+			return recs, badErr
 		}
 		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
 		return recs, err
 	}
 	return recs, nil

@@ -19,6 +19,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,7 @@ import (
 
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/perf"
+	"github.com/s3dgo/s3d/internal/prof"
 )
 
 // task is one tile (or item) of a parallel region, handed to a worker.
@@ -53,6 +55,13 @@ type Pool struct {
 	// read by workers, hence the atomic pointers. Nil handles are skipped.
 	busyG  atomic.Pointer[obs.Gauge]
 	tilesC atomic.Pointer[obs.Counter]
+
+	// Per-worker profiler tracks (AttachProfiler): each worker records one
+	// busy span per tile, labelled by the kernel, on its own timeline —
+	// gaps between spans are idle time. Attached once per profiler.
+	profTracks atomic.Pointer[[]*prof.Track]
+	profMu     sync.Mutex
+	profOwner  *prof.Profiler
 
 	// Per-worker TAU-style timers: each worker accumulates the busy time of
 	// every kernel label it executes into its own perf.Timers (the
@@ -124,6 +133,30 @@ func (p *Pool) AttachMetrics(reg *obs.Registry) {
 	p.tilesC.Store(reg.Counter("par.tiles_total"))
 }
 
+// AttachProfiler gives every pool worker its own timeline track
+// (prof.GroupWorker) on which the worker records one busy span per
+// executed tile, labelled by the kernel. Safe to call more than once with
+// the same profiler (ranks sharing a pool attach the same one): only the
+// first call creates tracks. Single-worker pools execute tiles inline on
+// the submitting rank's goroutine, so their work already appears inside
+// the rank's own spans and no worker tracks are created.
+func (p *Pool) AttachProfiler(pr *prof.Profiler) {
+	if pr == nil || p.n <= 1 {
+		return
+	}
+	p.profMu.Lock()
+	defer p.profMu.Unlock()
+	if p.profOwner == pr {
+		return
+	}
+	tracks := make([]*prof.Track, p.n)
+	for i := range tracks {
+		tracks[i] = pr.NewTrack(prof.GroupWorker, fmt.Sprintf("worker%d", i))
+	}
+	p.profOwner = pr
+	p.profTracks.Store(&tracks)
+}
+
 // PerfSnapshot merges the per-worker kernel timers into a fresh Timers
 // owned by the caller: the per-kernel busy time accumulated across all
 // workers (region names are the kernel labels passed to Plan runs).
@@ -147,9 +180,14 @@ func (p *Pool) worker(id int) {
 		if g := p.busyG.Load(); g != nil {
 			g.Set(float64(nb))
 		}
+		var sp prof.Span
+		if ts := p.profTracks.Load(); ts != nil {
+			sp = (*ts)[id].Begin(t.label)
+		}
 		start := time.Now()
 		t.fn(t.tile, id)
 		d := time.Since(start)
+		sp.End()
 		wt.mu.Lock()
 		wt.t.Observe(t.label, d, 1)
 		wt.mu.Unlock()

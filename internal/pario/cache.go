@@ -17,6 +17,7 @@ import (
 
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/prof"
 )
 
 // SharedFile is the in-memory stand-in for the parallel file system file
@@ -110,7 +111,12 @@ type cachedPage struct {
 type CacheClient struct {
 	cfg  CacheConfig
 	c    *comm.Comm
+	sc   *comm.Comm // the server goroutine's handle: same rank, no profiler
 	file *SharedFile
+
+	// prof records PARIO_* spans for the client-side operations on the
+	// owning rank's track (SetProfiler); nil records nothing.
+	prof *prof.Track
 
 	// Metadata shard owned by this rank: pageIndex → owner rank (-1 if the
 	// page is not cached anywhere yet). Guarded by metaMu because both the
@@ -158,6 +164,7 @@ func NewCacheClient(c *comm.Comm, file *SharedFile, cfg CacheConfig) *CacheClien
 	cl := &CacheClient{
 		cfg:        cfg,
 		c:          c,
+		sc:         c.WithoutProfiler(),
 		file:       file,
 		meta:       map[int64]int{},
 		pages:      map[int64]*cachedPage{},
@@ -167,6 +174,12 @@ func NewCacheClient(c *comm.Comm, file *SharedFile, cfg CacheConfig) *CacheClien
 	c.Barrier()
 	return cl
 }
+
+// SetProfiler records the client-side cache operations (PARIO_READ,
+// PARIO_WRITE, PARIO_FLUSH) as spans on the owning rank's track. The
+// embedded I/O thread keeps using an unprofiled communicator handle: it
+// runs concurrently with the rank's call stack and must not touch it.
+func (cl *CacheClient) SetProfiler(tr *prof.Track) { cl.prof = tr }
 
 // metaOwner returns the rank holding the metadata of a page (round-robin,
 // "statically distributed ... among the MPI processes", §5.1).
@@ -204,6 +217,8 @@ func (cl *CacheClient) lookupOwner(page int64) int {
 
 // Write writes buf at the canonical offset through the cache.
 func (cl *CacheClient) Write(off int64, buf []byte) error {
+	sp := cl.prof.Begin("PARIO_WRITE")
+	defer sp.End()
 	if off < 0 || off+int64(len(buf)) > cl.file.Size() {
 		return fmt.Errorf("pario: cache write [%d, %d) outside file of %d bytes",
 			off, off+int64(len(buf)), cl.file.Size())
@@ -238,6 +253,8 @@ func (cl *CacheClient) Write(off int64, buf []byte) error {
 // (figure 6's flow: metadata lookup, then local caching or forward to the
 // remote owner).
 func (cl *CacheClient) Read(off int64, buf []byte) error {
+	sp := cl.prof.Begin("PARIO_READ")
+	defer sp.End()
 	if off < 0 || off+int64(len(buf)) > cl.file.Size() {
 		return fmt.Errorf("pario: cache read [%d, %d) outside file", off, off+int64(len(buf)))
 	}
@@ -328,6 +345,8 @@ func (cl *CacheClient) evictLocked(page int64) {
 // Close flushes all dirty pages and stops the I/O thread. All ranks must
 // call Close collectively; the file image is complete afterwards.
 func (cl *CacheClient) Close() {
+	sp := cl.prof.Begin("PARIO_FLUSH")
+	defer sp.End()
 	// Quiesce first: once every client has entered Close, no further remote
 	// writes can be in flight (each Write completed its ack), so the local
 	// flush below cannot lose late-arriving dirty data.
@@ -368,7 +387,7 @@ func (cl *CacheClient) serve() {
 				cl.meta[page] = owner
 			}
 			cl.metaMu.Unlock()
-			cl.c.Send(src, tagMetaReply, []float64{float64(owner)})
+			cl.sc.Send(src, tagMetaReply, []float64{float64(owner)})
 		case tagPageWrite:
 			page, inPage, n := int64(msg[0]), int64(msg[1]), int64(msg[2])
 			data := make([]byte, n)
@@ -376,7 +395,7 @@ func (cl *CacheClient) serve() {
 				data[i] = byte(msg[3+i])
 			}
 			cl.writeLocal(page, inPage, data)
-			cl.c.Send(src, tagPageAck, []float64{1})
+			cl.sc.Send(src, tagPageAck, []float64{1})
 		case tagPageRead:
 			page, inPage, n := int64(msg[0]), int64(msg[1]), int64(msg[2])
 			buf := make([]byte, n)
@@ -385,7 +404,7 @@ func (cl *CacheClient) serve() {
 			for i := int64(0); i < n; i++ {
 				out[i] = float64(buf[i])
 			}
-			cl.c.Send(src, tagPageData, out)
+			cl.sc.Send(src, tagPageData, out)
 		}
 	}
 }
@@ -394,7 +413,7 @@ func (cl *CacheClient) serve() {
 // any rank. The comm runtime matches on explicit (src, tag), so the server
 // polls a wildcard receive implemented via TryRecv semantics.
 func (cl *CacheClient) recvAny() (src, tag int, msg []float64) {
-	return cl.c.RecvAny([]int{tagMetaLock, tagPageWrite, tagPageRead, tagShutdown})
+	return cl.sc.RecvAny([]int{tagMetaLock, tagPageWrite, tagPageRead, tagShutdown})
 }
 
 // --- LRU list (intrusive on page indices) ---

@@ -16,6 +16,7 @@ import (
 
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/prof"
 )
 
 // Write-behind message tags (distinct from the cache-layer tags).
@@ -28,7 +29,12 @@ const (
 // WriteBehindClient is one rank's handle on the write-behind layer.
 type WriteBehindClient struct {
 	c    *comm.Comm
+	sc   *comm.Comm // the server goroutine's handle: same rank, no profiler
 	file *SharedFile
+
+	// prof records PARIO_WB_* spans for the client-side operations on the
+	// owning rank's track (SetProfiler); nil records nothing.
+	prof *prof.Track
 
 	pageBytes int64
 	subBytes  int64
@@ -82,6 +88,7 @@ func NewWriteBehindClient(c *comm.Comm, file *SharedFile, pageBytes, subBytes in
 	}
 	cl := &WriteBehindClient{
 		c:            c,
+		sc:           c.WithoutProfiler(),
 		file:         file,
 		pageBytes:    pageBytes,
 		subBytes:     subBytes,
@@ -96,12 +103,19 @@ func NewWriteBehindClient(c *comm.Comm, file *SharedFile, pageBytes, subBytes in
 	return cl
 }
 
+// SetProfiler records the client-side write-behind operations
+// (PARIO_WB_WRITE, PARIO_WB_FLUSH) as spans on the owning rank's track;
+// the I/O thread keeps using an unprofiled communicator handle.
+func (cl *WriteBehindClient) SetProfiler(tr *prof.Track) { cl.prof = tr }
+
 // owner returns the rank owning a page ("page i resides on the process of
 // rank (i mod nproc)", §5.2).
 func (cl *WriteBehindClient) owner(page int64) int { return int(page) % cl.c.Size() }
 
 // Write appends data at the canonical offset to the first-stage buffers.
 func (cl *WriteBehindClient) Write(off int64, data []byte) error {
+	sp := cl.prof.Begin("PARIO_WB_WRITE")
+	defer sp.End()
 	if off < 0 || off+int64(len(data)) > cl.file.Size() {
 		return fmt.Errorf("pario: write-behind write [%d, %d) outside file",
 			off, off+int64(len(data)))
@@ -168,6 +182,8 @@ func (cl *WriteBehindClient) apply(page, inPage int64, data []byte) {
 // Close drains the first stage, flushes owned pages and stops the server.
 // Collective.
 func (cl *WriteBehindClient) Close() {
+	sp := cl.prof.Begin("PARIO_WB_FLUSH")
+	defer sp.End()
 	// Drain our first-stage buffers ("at file close, all dirty buffers are
 	// flushed").
 	for d := range cl.pending {
@@ -195,7 +211,7 @@ func (cl *WriteBehindClient) serve() {
 	defer close(cl.serverDone)
 	buf := make([]byte, 0, cl.subBytes)
 	for {
-		src, tag, msg := cl.c.RecvAny([]int{tagWBFlush, tagWBShutdown})
+		src, tag, msg := cl.sc.RecvAny([]int{tagWBFlush, tagWBShutdown})
 		if tag == tagWBShutdown {
 			return
 		}
@@ -213,6 +229,6 @@ func (cl *WriteBehindClient) serve() {
 			}
 			cl.apply(page, inPage, buf)
 		}
-		cl.c.Send(src, tagWBFlushAck, []float64{1})
+		cl.sc.Send(src, tagWBFlushAck, []float64{1})
 	}
 }

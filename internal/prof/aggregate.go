@@ -1,0 +1,234 @@
+package prof
+
+import (
+	"math"
+	"sort"
+)
+
+// PathStats is one merged call-path node across every rank track: inclusive
+// and exclusive wall time, call counts, and the cross-rank spread of the
+// exclusive time (the load-imbalance statistic TAU-style profiles lead
+// with — the straggler rank is the one the whole allocation waits for).
+type PathStats struct {
+	Path  string // "/"-joined region names from the root, e.g. "STEP/RHS/MPI_WAIT"
+	Name  string // leaf region name
+	Depth int
+
+	Calls int64   // total calls across ranks
+	Incl  float64 // inclusive seconds summed across ranks
+	Excl  float64 // exclusive seconds summed across ranks
+
+	// Cross-rank spread of the exclusive seconds (ranks that never entered
+	// the path count as zero — a hard imbalance, not a missing sample).
+	MinSec, MeanSec, MaxSec, StdSec float64
+	MinRank, MaxRank                string // straggler = MaxRank
+}
+
+// KernelStat is one kernel label's share of a pool worker's busy time.
+type KernelStat struct {
+	Name  string
+	Calls int64
+	Sec   float64
+}
+
+// WorkerStat summarises one pool worker track: total busy time (the rest of
+// the wall is idle) and the per-kernel breakdown.
+type WorkerStat struct {
+	Name    string
+	BusySec float64
+	Kernels []KernelStat // sorted by descending busy time
+}
+
+// Report is the aggregated profile: the merged rank call-path tree in
+// depth-first order plus the pool-worker busy/idle view.
+type Report struct {
+	WallSec   float64 // latest event end across all tracks
+	RankNames []string
+	Paths     []*PathStats // depth-first over the merged tree
+	Workers   []WorkerStat
+}
+
+// gnode is one node of the merged cross-rank tree during aggregation.
+type gnode struct {
+	name     string
+	parent   int
+	depth    int
+	children []int
+	calls    int64
+	incl     []float64 // per rank, seconds
+	excl     []float64 // per rank, seconds
+}
+
+// Build aggregates a snapshot of every track into a Report. Tracks in
+// GroupWorker feed the worker view; every other track is treated as a rank.
+func Build(p *Profiler) *Report { return BuildFrom(p.Snapshot()) }
+
+// BuildFrom aggregates already-snapshotted tracks (the exporters snapshot
+// once and reuse it).
+func BuildFrom(snaps []TrackSnapshot) *Report {
+	rep := &Report{}
+	var ranks, workers []TrackSnapshot
+	for _, s := range snaps {
+		for _, e := range s.Events {
+			if end := float64(e.Start+e.Dur) / 1e9; end > rep.WallSec {
+				rep.WallSec = end
+			}
+		}
+		if s.Group == GroupWorker {
+			workers = append(workers, s)
+		} else {
+			ranks = append(ranks, s)
+		}
+	}
+	rep.buildPaths(ranks)
+	rep.buildWorkers(workers)
+	return rep
+}
+
+func (r *Report) buildPaths(ranks []TrackSnapshot) {
+	nr := len(ranks)
+	for _, s := range ranks {
+		r.RankNames = append(r.RankNames, s.Name)
+	}
+	nodes := []*gnode{{parent: -1, depth: -1, incl: make([]float64, nr), excl: make([]float64, nr)}}
+	index := map[childKey]int{}
+	for ri, s := range ranks {
+		// Local nodes are created parents-first, so a single in-order pass
+		// can map them onto the merged tree.
+		l2g := make([]int, len(s.Nodes))
+		for li := 1; li < len(s.Nodes); li++ {
+			ln := s.Nodes[li]
+			gp := l2g[ln.Parent]
+			key := childKey{parent: int32(gp), name: ln.Name}
+			gi, ok := index[key]
+			if !ok {
+				gi = len(nodes)
+				nodes = append(nodes, &gnode{
+					name: ln.Name, parent: gp, depth: nodes[gp].depth + 1,
+					incl: make([]float64, nr), excl: make([]float64, nr),
+				})
+				nodes[gp].children = append(nodes[gp].children, gi)
+				index[key] = gi
+			}
+			l2g[li] = gi
+		}
+		for _, e := range s.Events {
+			g := nodes[l2g[e.Path]]
+			g.calls++
+			g.incl[ri] += float64(e.Dur) / 1e9
+		}
+	}
+	// Exclusive = inclusive minus the children's inclusive, per rank.
+	for _, g := range nodes {
+		copy(g.excl, g.incl)
+	}
+	for _, g := range nodes[1:] {
+		p := nodes[g.parent]
+		for ri := range p.excl {
+			p.excl[ri] -= g.incl[ri]
+		}
+	}
+	// Emit depth-first in creation order (stable across runs).
+	var walk func(gi int, prefix string)
+	walk = func(gi int, prefix string) {
+		g := nodes[gi]
+		path := prefix
+		if gi != 0 {
+			if prefix == "" {
+				path = g.name
+			} else {
+				path = prefix + "/" + g.name
+			}
+			ps := &PathStats{Path: path, Name: g.name, Depth: g.depth, Calls: g.calls}
+			for ri := 0; ri < len(g.incl); ri++ {
+				ps.Incl += g.incl[ri]
+				ps.Excl += g.excl[ri]
+			}
+			ps.MinSec, ps.MeanSec, ps.MaxSec, ps.StdSec, ps.MinRank, ps.MaxRank =
+				spread(g.excl, r.RankNames)
+			r.Paths = append(r.Paths, ps)
+		}
+		for _, c := range g.children {
+			walk(c, path)
+		}
+	}
+	walk(0, "")
+}
+
+// spread computes min/mean/max/stddev over per-rank values plus the
+// extremal rank names.
+func spread(vals []float64, names []string) (min, mean, max, std float64, minName, maxName string) {
+	if len(vals) == 0 {
+		return
+	}
+	min, max = vals[0], vals[0]
+	minName, maxName = names[0], names[0]
+	var sum, sumSq float64
+	for i, v := range vals {
+		sum += v
+		sumSq += v * v
+		if v < min {
+			min, minName = v, names[i]
+		}
+		if v > max {
+			max, maxName = v, names[i]
+		}
+	}
+	mean = sum / float64(len(vals))
+	variance := sumSq/float64(len(vals)) - mean*mean
+	if variance > 0 {
+		std = math.Sqrt(variance)
+	}
+	return
+}
+
+func (r *Report) buildWorkers(workers []TrackSnapshot) {
+	for _, s := range workers {
+		ws := WorkerStat{Name: s.Name}
+		type acc struct {
+			calls int64
+			sec   float64
+		}
+		byName := map[string]*acc{}
+		for _, e := range s.Events {
+			sec := float64(e.Dur) / 1e9
+			ws.BusySec += sec
+			name := s.Nodes[e.Path].Name
+			a := byName[name]
+			if a == nil {
+				a = &acc{}
+				byName[name] = a
+			}
+			a.calls++
+			a.sec += sec
+		}
+		for name, a := range byName {
+			ws.Kernels = append(ws.Kernels, KernelStat{Name: name, Calls: a.calls, Sec: a.sec})
+		}
+		sort.Slice(ws.Kernels, func(i, j int) bool {
+			if ws.Kernels[i].Sec != ws.Kernels[j].Sec {
+				return ws.Kernels[i].Sec > ws.Kernels[j].Sec
+			}
+			return ws.Kernels[i].Name < ws.Kernels[j].Name
+		})
+		r.Workers = append(r.Workers, ws)
+	}
+}
+
+// RegionTotals sums calls and exclusive seconds by leaf region name across
+// all paths and ranks (the roofline module's measured input: a kernel's
+// cost wherever it appears in the tree).
+func (r *Report) RegionTotals() map[string]KernelStat {
+	out := map[string]KernelStat{}
+	for _, ps := range r.Paths {
+		ks := out[ps.Name]
+		ks.Name = ps.Name
+		ks.Calls += ps.Calls
+		ks.Sec += ps.Excl
+		out[ps.Name] = ks
+	}
+	return out
+}
+
+// NumRanks returns the number of rank tracks in the report.
+func (r *Report) NumRanks() int { return len(r.RankNames) }

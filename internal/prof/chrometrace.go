@@ -1,0 +1,87 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// traceEvent is one entry of the Chrome trace_event JSON format ("X"
+// complete events plus "M" metadata events), the interchange format both
+// chrome://tracing and Perfetto load. Timestamps and durations are
+// microseconds.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object envelope (Perfetto also accepts a bare
+// array, but the object form carries the display unit).
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every track as a Chrome trace_event timeline:
+// one process row per track group (ranks, pool workers), one thread per
+// track, one complete event per span. Load the output in chrome://tracing
+// or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, p *Profiler) error {
+	return WriteChromeTraceFrom(w, p.Snapshot())
+}
+
+// WriteChromeTraceFrom exports already-snapshotted tracks.
+func WriteChromeTraceFrom(w io.Writer, snaps []TrackSnapshot) error {
+	// Stable pid per group in first-seen order; stable tid per track within
+	// its group.
+	pidOf := map[string]int{}
+	var groups []string
+	tidOf := make([]int, len(snaps))
+	nextTid := map[string]int{}
+	for i, s := range snaps {
+		if _, ok := pidOf[s.Group]; !ok {
+			pidOf[s.Group] = len(pidOf) + 1
+			groups = append(groups, s.Group)
+		}
+		tidOf[i] = nextTid[s.Group]
+		nextTid[s.Group]++
+	}
+
+	var events []traceEvent
+	for _, g := range groups {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pidOf[g],
+			Args: map[string]string{"name": "s3d " + g + "s"},
+		})
+	}
+	for i, s := range snaps {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pidOf[s.Group], Tid: tidOf[i],
+			Args: map[string]string{"name": s.Name},
+		})
+	}
+	for i, s := range snaps {
+		pid, tid := pidOf[s.Group], tidOf[i]
+		for _, e := range s.Events {
+			events = append(events, traceEvent{
+				Name: s.Nodes[e.Path].Name,
+				Cat:  s.Group,
+				Ph:   "X",
+				Ts:   float64(e.Start) / 1e3,
+				Dur:  float64(e.Dur) / 1e3,
+				Pid:  pid,
+				Tid:  tid,
+			})
+		}
+	}
+	// Sorted timestamps keep chrome://tracing's legacy importer happy.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,63 @@
+package prof
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text renders the call-path report: the merged inclusive/exclusive tree
+// with cross-rank imbalance per path, followed by the pool-worker busy/idle
+// view — the TAU-style flat view the paper's figure 2 is drawn from.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "call-path profile: %d rank track(s), %d worker track(s), wall %.3f s\n\n",
+		len(r.RankNames), len(r.Workers), r.WallSec)
+	fmt.Fprintf(&sb, "%12s %12s %10s  %-32s %7s  %-10s %s\n",
+		"incl(s)", "excl(s)", "calls", "excl min/mean/max (s)", "imb%", "straggler", "call path")
+	for _, p := range r.Paths {
+		imb := 0.0
+		if p.MeanSec > 0 {
+			imb = 100 * (p.MaxSec - p.MeanSec) / p.MeanSec
+		}
+		spreadCol := fmt.Sprintf("%.4g/%.4g/%.4g", p.MinSec, p.MeanSec, p.MaxSec)
+		fmt.Fprintf(&sb, "%12.4f %12.4f %10d  %-32s %7.1f  %-10s %s%s\n",
+			p.Incl, p.Excl, p.Calls, spreadCol, imb, p.MaxRank,
+			strings.Repeat("  ", p.Depth), p.Name)
+	}
+	if len(r.Workers) > 0 {
+		fmt.Fprintf(&sb, "\npool workers (wall %.3f s):\n", r.WallSec)
+		for _, w := range r.Workers {
+			util := 0.0
+			if r.WallSec > 0 {
+				util = 100 * w.BusySec / r.WallSec
+			}
+			fmt.Fprintf(&sb, "  %-10s busy %8.3f s (%5.1f%%)", w.Name, w.BusySec, util)
+			for i, k := range w.Kernels {
+				if i == 3 {
+					fmt.Fprintf(&sb, ", ...")
+					break
+				}
+				sep := "  top:"
+				if i > 0 {
+					sep = ","
+				}
+				fmt.Fprintf(&sb, "%s %s %.3f s", sep, k.Name, k.Sec)
+			}
+			fmt.Fprintln(&sb)
+		}
+	}
+	return sb.String()
+}
+
+// CSV renders the merged call-path tree as comma-separated rows with a
+// header, one row per path (times in seconds).
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("path,name,depth,calls,incl_s,excl_s,excl_min_s,excl_mean_s,excl_max_s,excl_std_s,straggler\n")
+	for _, p := range r.Paths {
+		fmt.Fprintf(&sb, "%s,%s,%d,%d,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,%s\n",
+			p.Path, p.Name, p.Depth, p.Calls, p.Incl, p.Excl,
+			p.MinSec, p.MeanSec, p.MaxSec, p.StdSec, p.MaxRank)
+	}
+	return sb.String()
+}

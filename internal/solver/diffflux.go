@@ -29,8 +29,7 @@ import (
 //     single triply-nested loop, species loop unroll-and-jammed, so loaded
 //     values (ρ, W-gradient terms, Yₙ) are reused from registers.
 func (b *Block) computeDiffFlux() {
-	b.Timers.Start("COMPUTESPECIESDIFFFLUX")
-	defer b.Timers.Stop("COMPUTESPECIESDIFFFLUX")
+	defer b.beginRegion("COMPUTESPECIESDIFFFLUX").End()
 	switch b.cfg.DiffFlux {
 	case DiffFluxOptimized:
 		b.computeDiffFluxOptimized()

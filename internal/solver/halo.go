@@ -20,8 +20,7 @@ import (
 // segment, so fields proceed concurrently while the buffer layout stays
 // identical to the serial field-major order.
 func (b *Block) exchangeHalos(fields []*grid.Field3, tagBase int) {
-	b.Timers.Start("GHOST_EXCHANGE")
-	defer b.Timers.Stop("GHOST_EXCHANGE")
+	defer b.beginRegion("GHOST_EXCHANGE").End()
 	for a := 0; a < 3; a++ {
 		axis := grid.Axis(a)
 		if b.G.Dim(axis) == 1 {

@@ -20,8 +20,7 @@ import (
 //   - non-reflecting inflow: incoming acoustic, entropy, shear and species
 //     waves relax u, T, (v,w) and Y toward the target inflow state.
 func (b *Block) applyNSCBC(t float64) {
-	b.Timers.Start("NSCBC")
-	defer b.Timers.Stop("NSCBC")
+	defer b.beginRegion("NSCBC").End()
 	for a := 0; a < 3; a++ {
 		for side := 0; side < 2; side++ {
 			if b.interiorF[a][side] || b.faceBC[a][side] == Periodic {

@@ -31,8 +31,7 @@ func (b *Block) extent() (lo, hi [3]int) {
 // recovery is independent, so the sweep tiles over the worker pool with a
 // per-worker species scratch vector.
 func (b *Block) computePrimitives() {
-	b.Timers.Start("COMPUTE_PRIMITIVES")
-	defer b.Timers.Stop("COMPUTE_PRIMITIVES")
+	defer b.beginRegion("COMPUTE_PRIMITIVES").End()
 
 	lo, hi := b.extent()
 	set := b.mech.Set
@@ -101,8 +100,7 @@ func (b *Block) computePrimitives() {
 // tiled over the pool. The transport model carries internal scratch, so each
 // worker evaluates through its own clone.
 func (b *Block) computeTransport() {
-	b.Timers.Start("COMPUTE_TRANSPORT")
-	defer b.Timers.Stop("COMPUTE_TRANSPORT")
+	defer b.beginRegion("COMPUTE_TRANSPORT").End()
 
 	lo, hi := b.extent()
 	ns := b.ns

@@ -1,0 +1,48 @@
+package solver
+
+import (
+	"github.com/s3dgo/s3d/internal/prof"
+)
+
+// EnableProfiling attaches a call-path profiler track to the block: every
+// instrumented kernel region opens a span on tr alongside its perf timer,
+// and the block's communicator charges its MPI_* spans to the same track,
+// so blocked communication time appears under the call path that blocked
+// (GHOST_EXCHANGE/MPI_WAIT). The track must belong to this block's rank
+// goroutine. Pass nil to detach.
+func (b *Block) EnableProfiling(tr *prof.Track) {
+	b.profT = tr
+	if b.cart != nil {
+		b.cart.Comm.AttachProfiler(tr)
+	}
+}
+
+// ProfTrack returns the block's profiler track (nil when not profiling).
+func (b *Block) ProfTrack() *prof.Track { return b.profT }
+
+// region couples a figure-2 perf timer region with a call-path span, so the
+// instrumented kernels keep one begin/end pair for both systems.
+type region struct {
+	b     *Block
+	timer string
+	sp    prof.Span
+}
+
+// beginRegion opens the named timer region and a span of the same name.
+func (b *Block) beginRegion(name string) region {
+	return b.beginRegionNamed(name, name)
+}
+
+// beginRegionNamed opens timer region timerName and a span named spanName
+// (the divergence sweep shares the DERIVATIVES timer but gets its own
+// DIVERGENCE span so the roofline can tell the two sweeps apart).
+func (b *Block) beginRegionNamed(timerName, spanName string) region {
+	b.Timers.Start(timerName)
+	return region{b: b, timer: timerName, sp: b.profT.Begin(spanName)}
+}
+
+// End closes the span and the timer region.
+func (r region) End() {
+	r.sp.End()
+	r.b.Timers.Stop(r.timer)
+}

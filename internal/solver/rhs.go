@@ -82,8 +82,7 @@ func (b *Block) interior() par.Range {
 // direction: each tile computes every field's derivative over its own box,
 // reusing the source lines while they are cache-hot.
 func (b *Block) computeGradients() {
-	b.Timers.Start("DERIVATIVES")
-	defer b.Timers.Stop("DERIVATIVES")
+	defer b.beginRegion("DERIVATIVES").End()
 	vel := [3]*grid.Field3{b.U, b.V, b.W}
 	r := b.interior()
 	for d := 0; d < 3; d++ {
@@ -131,8 +130,7 @@ func (b *Block) needsNSCBC(a int) bool {
 // all three directions, and each J value is read exactly once per (cell,
 // direction).
 func (b *Block) assembleFluxes() {
-	b.Timers.Start("ASSEMBLE_FLUXES")
-	defer b.Timers.Stop("ASSEMBLE_FLUXES")
+	defer b.beginRegion("ASSEMBLE_FLUXES").End()
 	ns := b.ns
 	species := b.mech.Set.Species
 	b.plan.Run("ASSEMBLE_FLUXES", b.interior(), func(t par.Tile, worker int) {
@@ -221,8 +219,7 @@ func (b *Block) AssembleFluxesOnly() { b.assembleFluxes() }
 // former separate scratch-field AXPY passes into the derivative sweeps;
 // per point the arithmetic (set, add, add, negate) is unchanged.
 func (b *Block) divergence() {
-	b.Timers.Start("DERIVATIVES")
-	defer b.Timers.Stop("DERIVATIVES")
+	defer b.beginRegionNamed("DERIVATIVES", "DIVERGENCE").End()
 	b.plan.Run("DIVERGENCE", b.interior(), func(t par.Tile, _ int) {
 		for v := 0; v < b.nvar; v++ {
 			b.diffTile(b.rhs[v], b.flux[v][0], grid.X, t, deriv.OpSet)
@@ -240,8 +237,7 @@ func (b *Block) divergence() {
 // integral accumulates through the plan's ordered reduction slots, so the
 // sum is bitwise identical for any worker count.
 func (b *Block) chemSource() {
-	b.Timers.Start("REACTION_RATE_BOUNDS")
-	defer b.Timers.Stop("REACTION_RATE_BOUNDS")
+	defer b.beginRegion("REACTION_RATE_BOUNDS").End()
 	ns := b.ns
 	species := b.mech.Set.Species
 	tile := func(t par.Tile, worker int, collect bool) float64 {

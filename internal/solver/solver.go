@@ -18,6 +18,7 @@ import (
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/perf"
+	"github.com/s3dgo/s3d/internal/prof"
 	"github.com/s3dgo/s3d/internal/transport"
 )
 
@@ -213,6 +214,7 @@ type Block struct {
 	// the most recent StepOnce.
 	Metrics     *obs.Registry
 	StageWall   []float64
+	profT       *prof.Track // call-path profiler track (see region.go); may stay nil
 	telemetryOn bool
 	collectHRR  bool         // true during the final RK stage when telemetry is on
 	hrrAcc      float64      // heat-release integral of the last step (W)

@@ -29,6 +29,8 @@ func (b *Block) StepOnce(dt float64) {
 	stepStart := time.Now()
 	stageStart := stepStart
 	rhsCall := 0
+	stepSpan := b.profT.Begin("STEP")
+	defer stepSpan.End()
 	// Zero the 2N accumulation registers.
 	for v := 0; v < b.nvar; v++ {
 		b.dQ[v].Fill(0)
@@ -42,9 +44,11 @@ func (b *Block) StepOnce(dt float64) {
 		if b.collectHRR {
 			b.hrrAcc = 0
 		}
+		rhsSpan := b.profT.Begin("RHS")
 		b.computeRHS(stageTime)
+		rhsSpan.End()
 	}, func(stage int, a, bb, _ float64) {
-		b.Timers.Start("RK_UPDATE")
+		reg := b.beginRegion("RK_UPDATE")
 		// Update interior points only; ghosts are refreshed by exchange.
 		// Pure per-point arithmetic, so the tiling cannot change the bits.
 		b.plan.Run("RK_UPDATE", b.interior(), func(t par.Tile, _ int) {
@@ -61,7 +65,7 @@ func (b *Block) StepOnce(dt float64) {
 				}
 			}
 		})
-		b.Timers.Stop("RK_UPDATE")
+		reg.End()
 		b.StageWall[stage] = time.Since(stageStart).Seconds()
 	})
 	b.collectHRR = false
@@ -79,8 +83,7 @@ func (b *Block) StepOnce(dt float64) {
 // field along every axis (paper §2.6: an eleven-point explicit filter
 // removes spurious high-frequency fluctuations).
 func (b *Block) ApplyFilter() {
-	b.Timers.Start("FILTER")
-	defer b.Timers.Stop("FILTER")
+	defer b.beginRegion("FILTER").End()
 	sigma := b.cfg.FilterStrength
 	if sigma <= 0 {
 		sigma = 1
