@@ -9,5 +9,8 @@ check:
 test:
 	go test ./...
 
+# Run the root benchmark suite and append a results/BENCH_<n>.json
+# snapshot (ns/op, allocs, custom paper metrics, worker count) so the perf
+# trajectory is recorded per PR. BENCHTIME=5s BENCH=Health tunes the run.
 bench:
-	go test -bench=. -benchmem ./...
+	./bench.sh

@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench.sh — run the root benchmark suite (one benchmark per paper table /
+# figure plus the watchdog overhead gate, see bench_test.go) and record the
+# numbers as results/BENCH_<n>.json via cmd/benchsnap. `make bench` runs
+# this.
+#
+#   BENCHTIME  go test -benchtime value (default 1x: one pass per
+#              benchmark — the custom metrics are deterministic, and the
+#              wall-clock ones are honest single-shot readings)
+#   BENCH      -bench regexp (default: the whole suite)
+#   S3D_WORKERS  recorded into the snapshot as the worker-pool size
+set -eu
+
+cd "$(dirname "$0")"
+
+BENCHTIME="${BENCHTIME:-1x}"
+BENCH="${BENCH:-.}"
+WORKERS="${S3D_WORKERS:-0}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -run xxx -bench $BENCH -benchtime $BENCHTIME -benchmem ."
+go test -run xxx -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . | tee "$tmp"
+
+go run ./cmd/benchsnap -out results -workers "$WORKERS" < "$tmp"

@@ -626,3 +626,62 @@ func derivMaxErr(n int) float64 {
 	}
 	return max
 }
+
+// --- Run-health watchdog overhead ---
+
+// BenchmarkHealthOverhead measures the cost of the armed watchdog — the
+// fused end-of-step invariant sweep with every check on, plus the flight
+// recorder — against an unwatched run of the same problem, and fails if
+// the overhead exceeds the 2% budget the health layer is designed to
+// (matching the observability budget of BenchmarkObsOverhead). When
+// disarmed the whole feature costs one nil check and at most one atomic
+// load per step, which is below benchmark noise by construction.
+func BenchmarkHealthOverhead(b *testing.B) {
+	const warm, measure, trials = 2, 8, 4
+	newSim := func() *Simulation {
+		p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := p.NewSimulation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim
+	}
+	for i := 0; i < b.N; i++ {
+		off, on := math.Inf(1), math.Inf(1)
+		for t := 0; t < trials; t++ {
+			sim := newSim()
+			dt := 0.4 * sim.StableDt()
+			sim.Advance(warm, dt)
+			start := time.Now()
+			sim.Advance(measure, dt)
+			if w := time.Since(start).Seconds(); w < off {
+				off = w
+			}
+
+			sim = newSim()
+			dt = 0.4 * sim.StableDt()
+			sim.EnableHealth(HealthOptions{})
+			if err := sim.TryAdvance(warm, dt); err != nil {
+				b.Fatal(err)
+			}
+			start = time.Now()
+			if err := sim.TryAdvance(measure, dt); err != nil {
+				b.Fatal(err)
+			}
+			if w := time.Since(start).Seconds(); w < on {
+				on = w
+			}
+		}
+		overhead := (on - off) / off * 100
+		b.ReportMetric(off/measure*1e3, "off_ms/step")
+		b.ReportMetric(on/measure*1e3, "on_ms/step")
+		b.ReportMetric(overhead, "overhead_%")
+		if overhead > 2.0 {
+			b.Errorf("watchdog overhead %.2f%% exceeds the 2%% budget (off %.3fms on %.3fms per step)",
+				overhead, off/measure*1e3, on/measure*1e3)
+		}
+	}
+}

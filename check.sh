@@ -31,4 +31,11 @@ go test -race -timeout 10m -run TestProfileSmoke ./cmd/s3d
 echo "== go test -race -run xxx -bench BenchmarkProfOverhead -benchtime 1x ."
 go test -race -timeout 15m -run xxx -bench BenchmarkProfOverhead -benchtime 1x .
 
+# Health gate: a forced mid-run NaN on a 2-rank reacting case must produce
+# a structured violation with a flight-recorder bundle and a clean exit on
+# every rank — no panic, no deadlocked neighbour, no leaked goroutine (the
+# cross-rank abort test in internal/solver runs in the race pass above).
+echo "== go test -race -run TestHealthSmoke ./cmd/s3d"
+go test -race -timeout 10m -run TestHealthSmoke ./cmd/s3d
+
 echo "CHECK OK"

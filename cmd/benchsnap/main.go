@@ -1,0 +1,165 @@
+// Command benchsnap turns `go test -bench` output into a versioned JSON
+// snapshot, so the perf trajectory of the repo is recorded per PR instead
+// of scrolling away in CI logs. It reads the benchmark text from stdin and
+// writes results/BENCH_<n>.json, where n is one past the highest existing
+// snapshot index:
+//
+//	go test -run xxx -bench . -benchmem . | go run ./cmd/benchsnap
+//
+// Each snapshot records per-benchmark ns/op, B/op, allocs/op and every
+// custom ReportMetric value (the reproduced paper quantities), plus the
+// host context (goos/goarch/cpu) and the kernel worker-pool size the run
+// used. `make bench` wires this up end to end (see bench.sh).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the full BENCH_<n>.json document.
+type Snapshot struct {
+	Taken   string   `json:"taken"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Workers int      `json:"workers"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	outDir := flag.String("out", "results", "directory receiving BENCH_<n>.json")
+	workers := flag.Int("workers", 0, "kernel worker-pool size the run used (0: all CPUs)")
+	flag.Parse()
+
+	snap, err := Parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Results) == 0 {
+		log.Fatal("benchsnap: no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+	snap.Taken = time.Now().UTC().Format(time.RFC3339)
+	snap.Workers = *workers
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(*outDir, fmt.Sprintf("BENCH_%d.json", NextIndex(*outDir)))
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchsnap: %d benchmarks -> %s\n", len(snap.Results), path)
+}
+
+var benchIndexRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextIndex returns one past the highest BENCH_<n>.json index in dir
+// (1 when the directory holds none).
+func NextIndex(dir string) int {
+	max := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 1
+	}
+	for _, e := range entries {
+		if m := benchIndexRe.FindStringSubmatch(e.Name()); m != nil {
+			if n, err := strconv.Atoi(m[1]); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	return max + 1
+}
+
+// Parse reads `go test -bench` text and extracts the header context plus
+// every benchmark result line. Unrecognised lines (PASS, ok, test logs)
+// are skipped; a malformed Benchmark line is an error, not a silent drop.
+func Parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			snap.Results = append(snap.Results, res)
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseLine splits one result line: name, iteration count, then
+// value/unit pairs.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("benchsnap: short benchmark line %q", line)
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, fmt.Errorf("benchsnap: bad iteration count in %q: %w", line, err)
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, fmt.Errorf("benchsnap: odd value/unit pairing in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		val, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("benchsnap: bad value %q in %q: %w", rest[i], line, err)
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, nil
+}

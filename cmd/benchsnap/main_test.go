@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/s3dgo/s3d
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig1WeakScaling 	       1	      7276 ns/op	        68.75 hybrid_us/gp	        54.92 xt4_us/gp	     144 B/op	       1 allocs/op
+BenchmarkHealthOverhead-8 	       1	 123456789 ns/op	         0.350 off_ms/step	         1.20 overhead_%
+some test log line that must be ignored
+PASS
+ok  	github.com/s3dgo/s3d	0.004s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" {
+		t.Fatalf("header context not captured: %+v", snap)
+	}
+	if !strings.Contains(snap.CPU, "Xeon") {
+		t.Fatalf("cpu line not captured: %q", snap.CPU)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(snap.Results))
+	}
+
+	r := snap.Results[0]
+	if r.Name != "BenchmarkFig1WeakScaling" || r.Iterations != 1 {
+		t.Fatalf("first result mis-parsed: %+v", r)
+	}
+	if r.NsPerOp != 7276 || r.BytesPerOp != 144 || r.AllocsPerOp != 1 {
+		t.Fatalf("standard metrics mis-parsed: %+v", r)
+	}
+	if r.Metrics["hybrid_us/gp"] != 68.75 || r.Metrics["xt4_us/gp"] != 54.92 {
+		t.Fatalf("custom metrics mis-parsed: %+v", r.Metrics)
+	}
+
+	r = snap.Results[1]
+	if r.Name != "BenchmarkHealthOverhead-8" {
+		t.Fatalf("GOMAXPROCS-suffixed name mis-parsed: %q", r.Name)
+	}
+	if r.Metrics["overhead_%"] != 1.20 {
+		t.Fatalf("health overhead metric mis-parsed: %+v", r.Metrics)
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken abc\n")); err == nil {
+		t.Fatal("malformed iteration count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBroken 1 42\n")); err == nil {
+		t.Fatal("dangling value without unit accepted")
+	}
+}
+
+func TestNextIndex(t *testing.T) {
+	dir := t.TempDir()
+	if n := NextIndex(dir); n != 1 {
+		t.Fatalf("empty dir index = %d, want 1", n)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_7.json", "BENCH_3.json", "fig1_weakscale.csv"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := NextIndex(dir); n != 8 {
+		t.Fatalf("index = %d, want 8 (one past highest)", n)
+	}
+}

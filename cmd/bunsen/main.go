@@ -51,9 +51,14 @@ func main() {
 	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP while a case runs (e.g. :8080)")
 	profileDir := flag.String("profile", "", "record the call-path profiler per case; artifacts land in <dir>/caseA, <dir>/caseB, <dir>/caseC")
 	workers := flag.Int("workers", 0, "kernel worker-pool size (0: all CPUs)")
+	healthOn := flag.Bool("health", false, "arm the run-health watchdog per case (structured abort + flight recorder instead of a panic)")
+	flightRec := flag.String("flightrec", "", "flight-recorder bundle root; per-case bundles land in <dir>/caseA… (default <out>/health when -health)")
 	flag.Parse()
 
 	s3d.SetWorkers(*workers)
+	if *healthOn && *flightRec == "" {
+		*flightRec = filepath.Join(*outDir, "health")
+	}
 	all := !*table1 && !*surface && !*gradc
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
@@ -64,7 +69,7 @@ func main() {
 		printTable1(lam)
 	}
 	if *surface || *gradc || all {
-		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr, *profileDir)
+		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr, *profileDir, *flightRec)
 	}
 }
 
@@ -144,7 +149,7 @@ func printTable1(lam flame1d.Properties) {
 	}
 }
 
-func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr, profileDir string) {
+func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr, profileDir, flightRec string) {
 	var machines []perf.Machine
 	if profileDir != "" {
 		machines = s3d.ProfileMachines()
@@ -166,6 +171,12 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 		if profileDir != "" {
 			profiler = s3d.NewProfiler()
 			sim.EnableProfiling(profiler, "rank0")
+		}
+		if flightRec != "" {
+			sim.EnableHealth(s3d.HealthOptions{
+				BundleDir:           filepath.Join(flightRec, fmt.Sprintf("case%c", id)),
+				EmergencyCheckpoint: true,
+			})
 		}
 		var tr *obs.Trace
 		if tracePath != "" {
@@ -191,20 +202,32 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 				probe.MountProfile(profiler, sim.ProfileShape(), machines)
 			}
 		}
-		for done := 0; done < steps; done += 50 {
+		var stepErr error
+		for done := 0; done < steps && stepErr == nil; done += 50 {
 			n := 50
 			if done+n > steps {
 				n = steps - done
 			}
 			dt := 0.4 * sim.StableDt()
-			if probe != nil {
+			switch {
+			case probe != nil && flightRec != "":
+				stepErr = probe.TryAdvance(n, dt)
+			case probe != nil:
 				probe.Advance(n, dt)
-			} else {
+			case flightRec != "":
+				stepErr = sim.TryAdvance(n, dt)
+			default:
 				sim.Advance(n, dt)
 			}
 		}
+		exit := "completed"
+		if stepErr != nil {
+			fmt.Printf("  case %c health abort: %v\n  post-mortem bundle in %s\n",
+				id, stepErr, filepath.Join(flightRec, fmt.Sprintf("case%c", id)))
+			exit = fmt.Sprintf("health abort: %v", stepErr)
+		}
 		if probe != nil {
-			if err := probe.Close("completed"); err != nil {
+			if err := probe.Close(exit); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -219,6 +242,11 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 				log.Fatal(err)
 			}
 			fmt.Printf("  wrote profile artifacts to %s\n", dir)
+		}
+		if stepErr != nil {
+			// The post-mortem bundle is the record of an aborted case; the
+			// science figures would render the corrupted state.
+			continue
 		}
 		lo, hi, _ := sim.MinMax("T")
 		fmt.Printf("  final T ∈ [%.0f, %.0f] K, t = %.3g s\n", lo, hi, sim.Time())

@@ -38,9 +38,14 @@ func main() {
 	monitorAddr := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :8080)")
 	profileDir := flag.String("profile", "", "record the call-path profiler and write trace.json/callpath/roofline artifacts to this directory")
 	workers := flag.Int("workers", 0, "kernel worker-pool size (0: all CPUs)")
+	healthOn := flag.Bool("health", false, "arm the run-health watchdog (structured abort + flight recorder instead of a panic)")
+	flightRec := flag.String("flightrec", "", "flight-recorder bundle directory (default <out>/health when -health)")
 	flag.Parse()
 
 	s3d.SetWorkers(*workers)
+	if *healthOn && *flightRec == "" {
+		*flightRec = filepath.Join(*outDir, "health")
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +64,9 @@ func main() {
 	if *profileDir != "" {
 		profiler = s3d.NewProfiler()
 		sim.EnableProfiling(profiler, "rank0")
+	}
+	if *healthOn {
+		sim.EnableHealth(s3d.HealthOptions{BundleDir: *flightRec, EmergencyCheckpoint: true})
 	}
 	var tr *obs.Trace
 	if *tracePath != "" {
@@ -98,10 +106,25 @@ func main() {
 		// Refresh the acoustic CFL limit: the developing flame raises the
 		// sound speed and the peak velocity.
 		dt := 0.4 * sim.StableDt()
-		if probe != nil {
+		var stepErr error
+		switch {
+		case probe != nil && *healthOn:
+			stepErr = probe.TryAdvance(n, dt)
+		case probe != nil:
 			probe.Advance(n, dt)
-		} else {
+		case *healthOn:
+			stepErr = sim.TryAdvance(n, dt)
+		default:
 			sim.Advance(n, dt)
+		}
+		if stepErr != nil {
+			fmt.Printf("health abort: %v\npost-mortem bundle in %s\n", stepErr, *flightRec)
+			if probe != nil {
+				if err := probe.Close(fmt.Sprintf("health abort: %v", stepErr)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return
 		}
 		lo, hi, _ := sim.MinMax("T")
 		fmt.Printf("  step %4d  t=%.3g s  T∈[%.0f, %.0f] K\n", sim.Step(), sim.Time(), lo, hi)

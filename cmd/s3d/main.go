@@ -32,6 +32,9 @@ import (
 )
 
 func main() {
+	// Tests drive main() more than once in-process; a fresh FlagSet keeps
+	// the registrations from colliding.
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
 	problem := flag.String("problem", "liftedjet", "liftedjet | bunsen-a | bunsen-b | bunsen-c | box")
 	nx := flag.Int("nx", 72, "streamwise grid points")
 	ny := flag.Int("ny", 54, "transverse grid points")
@@ -46,8 +49,17 @@ func main() {
 	perfReport := flag.Bool("perf-report", false, "print the per-region timer breakdown at exit")
 	profileDir := flag.String("profile", "", "record the call-path profiler and write trace.json/callpath/roofline artifacts to this directory")
 	workers := flag.Int("workers", 0, "kernel worker-pool size, shared across in-process ranks (0: all CPUs)")
+	healthOn := flag.Bool("health", false, "arm the run-health watchdog: physics invariants per step, structured abort with a post-mortem bundle instead of a panic")
+	flightRec := flag.String("flightrec", "", "flight-recorder bundle directory (default <out>/health when -health)")
+	injectNaN := flag.Int("inject-nan", 0, "plant a NaN in the conserved energy at the start of step N (watchdog test hook; implies -health)")
 	flag.Parse()
 
+	if *injectNaN > 0 {
+		*healthOn = true
+	}
+	if *healthOn && *flightRec == "" {
+		*flightRec = filepath.Join(*outDir, "health")
+	}
 	s3d.SetWorkers(*workers)
 	prob := buildProblem(*problem, *nx, *ny, *nz)
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -64,7 +76,8 @@ func main() {
 	telemetryOn := tr != nil || *monitorAddr != "" || *perfReport
 
 	if *ranks != "" {
-		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport, *profileDir)
+		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport, *profileDir,
+			*healthOn, *flightRec, *injectNaN)
 		return
 	}
 	sim, err := prob.NewSimulation()
@@ -75,6 +88,13 @@ func main() {
 	if *profileDir != "" {
 		profiler = s3d.NewProfiler()
 		sim.EnableProfiling(profiler, "rank0")
+	}
+	// Before StartTelemetry, so the probe mounts /health and the gauges.
+	if *healthOn {
+		sim.EnableHealth(s3d.HealthOptions{BundleDir: *flightRec, EmergencyCheckpoint: true})
+		if *injectNaN > 0 {
+			sim.InjectNaN(*injectNaN)
+		}
 	}
 	if *resume != "" {
 		in, err := os.Open(*resume)
@@ -119,19 +139,34 @@ func main() {
 	if report == 0 {
 		report = 1
 	}
-	advance := func(n int) {
-		if probe != nil {
+	advance := func(n int) error {
+		switch {
+		case probe != nil && *healthOn:
+			return probe.TryAdvance(n, dt)
+		case probe != nil:
 			probe.Advance(n, dt)
-		} else {
+		case *healthOn:
+			return sim.TryAdvance(n, dt)
+		default:
 			sim.Advance(n, dt)
 		}
+		return nil
 	}
 	for sim.Step() < *steps {
 		n := report
 		if sim.Step()+n > *steps {
 			n = *steps - sim.Step()
 		}
-		advance(n)
+		if err := advance(n); err != nil {
+			fmt.Printf("health abort: %v\n", err)
+			fmt.Printf("post-mortem bundle in %s\n", *flightRec)
+			if probe != nil {
+				if cerr := probe.Close(fmt.Sprintf("health abort: %v", err)); cerr != nil {
+					log.Fatal(cerr)
+				}
+			}
+			return
+		}
 		tlo, thi, _ := sim.MinMax("T")
 		plo, phi, _ := sim.MinMax("p")
 		fmt.Printf("step %5d t=%.4g  T=[%.0f,%.0f]  p=[%.0f,%.0f]\n",
@@ -213,7 +248,8 @@ func buildProblem(name string, nx, ny, nz int) *s3d.Problem {
 	}
 }
 
-func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool, profileDir string) {
+func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool, profileDir string,
+	healthOn bool, flightRec string, injectNaN int) {
 	var dims [3]int
 	if n, err := fmt.Sscanf(strings.ToLower(ranks), "%dx%dx%d", &dims[0], &dims[1], &dims[2]); n != 3 || err != nil {
 		log.Fatalf("bad -ranks %q (want e.g. 2x2x1)", ranks)
@@ -243,7 +279,16 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 			}
 		}
 		r.SetInitial(prob.Initial, prob.InitPressure)
+		// Every rank must arm at the same point: the armed step loop adds
+		// two collectives that have to match across ranks.
+		if healthOn {
+			r.EnableHealth(s3d.HealthOptions{BundleDir: flightRec, EmergencyCheckpoint: true})
+			if injectNaN > 0 && r.Rank == nRanks-1 {
+				r.InjectNaN(injectNaN)
+			}
+		}
 		dt := 0.4 * r.StableDtGlobal()
+		var stepErr error
 		if r.Rank == 0 && telemetryOn {
 			probe, err := r.StartTelemetry(s3d.TelemetryOptions{
 				Case:        "decomposed",
@@ -258,12 +303,26 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 			if profiler != nil {
 				probe.MountProfile(profiler, r.ProfileShape(), machines)
 			}
-			probe.Advance(steps, dt)
-			if err := probe.Close("completed"); err != nil {
+			exit := "completed"
+			if healthOn {
+				stepErr = probe.TryAdvance(steps, dt)
+				if stepErr != nil {
+					exit = fmt.Sprintf("health abort: %v", stepErr)
+				}
+			} else {
+				probe.Advance(steps, dt)
+			}
+			if err := probe.Close(exit); err != nil {
 				panic(err)
 			}
+		} else if healthOn {
+			stepErr = r.TryAdvance(steps, dt)
 		} else {
 			r.Advance(steps, dt)
+		}
+		if stepErr != nil {
+			fmt.Printf("rank %d health abort: %v\n", r.Rank, stepErr)
+			return
 		}
 		lo, hi, _ := r.MinMax("T")
 		fmt.Printf("rank %d offset %v: T=[%.0f,%.0f]\n", r.Rank, r.Offset, lo, hi)

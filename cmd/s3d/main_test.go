@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/s3dgo/s3d/internal/health"
 )
 
 // TestProfileSmoke drives the real CLI end-to-end on a tiny decomposed
@@ -101,5 +103,80 @@ func TestProfileSmoke(t *testing.T) {
 		if !strings.Contains(string(roofline), want) {
 			t.Fatalf("roofline.txt missing %q:\n%s", want, roofline)
 		}
+	}
+}
+
+// TestHealthSmoke drives the real CLI on a 2-rank reacting lifted-jet case
+// with the NaN-injection test hook and validates the structured abort: main
+// must return (not panic), every rank must leave a parseable flight.jsonl
+// in its bundle subdirectory, and the injected rank's violation.json must
+// name a real check plus carry the emergency checkpoint alongside.
+//
+// The NaN lands on the last rank (rank 1 here); on these narrow 16-wide
+// slabs the contamination crosses the halo within the trip step, so both
+// ranks may report a local fault — the test does not assume rank 0 sees a
+// "remote" violation, only that both terminate cleanly with bundles.
+func TestHealthSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out")
+	os.Args = []string{"s3d",
+		"-problem", "liftedjet", "-nx", "32", "-ny", "24", "-nz", "1",
+		"-steps", "8", "-ranks", "2x1x1", "-workers", "2",
+		"-out", out,
+		"-inject-nan", "3",
+	}
+	main() // a panic here means the watchdog failed to absorb the fault
+
+	bundle := filepath.Join(out, "health")
+	for _, rank := range []string{"rank0", "rank1"} {
+		frames, err := health.ReadFlight(filepath.Join(bundle, rank, "flight.jsonl"))
+		if err != nil {
+			t.Fatalf("%s flight recorder: %v", rank, err)
+		}
+		if len(frames) == 0 {
+			t.Fatalf("%s flight recorder is empty", rank)
+		}
+		for i := 1; i < len(frames); i++ {
+			if frames[i].Step != frames[i-1].Step+1 {
+				t.Fatalf("%s flight frames not consecutive: step %d follows %d",
+					rank, frames[i].Step, frames[i-1].Step)
+			}
+		}
+	}
+
+	// The injected rank's post-mortem names the trip.
+	raw, err := os.ReadFile(filepath.Join(bundle, "rank1", "violation.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st health.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("violation.json does not parse: %v", err)
+	}
+	if st.Level != "fatal" {
+		t.Fatalf("rank1 status level = %q, want fatal", st.Level)
+	}
+	if st.Violation == nil {
+		t.Fatal("rank1 violation.json has no violation record")
+	}
+	if st.Violation.Check == "" || st.Violation.Check == "remote" {
+		t.Fatalf("rank1 violation check = %q, want a local physics check", st.Violation.Check)
+	}
+	if st.Violation.Rank != 1 {
+		t.Fatalf("rank1 violation rank = %d, want 1", st.Violation.Rank)
+	}
+	if st.Violation.Step < 3 {
+		t.Fatalf("violation step = %d, want ≥ 3 (injection step)", st.Violation.Step)
+	}
+
+	matches, err := filepath.Glob(filepath.Join(bundle, "rank1", "emergency-*.sdf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no emergency checkpoint written in rank1 bundle")
+	}
+	if fi, err := os.Stat(matches[0]); err != nil || fi.Size() == 0 {
+		t.Fatalf("emergency checkpoint unreadable or empty: %v", err)
 	}
 }

@@ -91,6 +91,18 @@ type StepEvent struct {
 
 	Comm  CommStats  `json:"comm"`
 	Pario ParioStats `json:"pario"`
+
+	// Health is the watchdog's verdict for the step (nil when no watchdog
+	// is armed). obs defines only the wire type; the rule engine lives in
+	// internal/health, which imports obs (not the other way round).
+	Health *HealthStatus `json:"health,omitempty"`
+}
+
+// HealthStatus is the per-step health slice of a step record: the overall
+// level ("ok" | "warn" | "fatal") and the names of any tripped checks.
+type HealthStatus struct {
+	Level   string   `json:"level"`
+	Tripped []string `json:"tripped,omitempty"`
 }
 
 // RunInfo is the run_start payload: enough to identify what ran and how.
@@ -300,12 +312,18 @@ type TraceSummary struct {
 	CacheHits   float64 `json:"cache_hit_rate"`
 	Checkpoints int     `json:"checkpoints"`
 	Done        bool    `json:"done"`
+	// Health is the final step's watchdog level ("" when the run carried
+	// no watchdog); HealthTripped lists every check that was warn/fatal on
+	// any step — the dashboard's health lane.
+	Health        string   `json:"health,omitempty"`
+	HealthTripped []string `json:"health_tripped,omitempty"`
 }
 
 // Summarize reduces parsed records to a TraceSummary.
 func Summarize(recs []Record) TraceSummary {
 	var s TraceSummary
 	var stepWall float64
+	tripped := map[string]bool{}
 	for _, r := range recs {
 		switch r.Kind {
 		case KindRunStart:
@@ -324,6 +342,15 @@ func Summarize(recs []Record) TraceSummary {
 				// last record carries the totals.
 				s.CommBytes = ev.Comm.BytesSent
 				s.CacheHits = ev.Pario.CacheHitRate
+				if ev.Health != nil {
+					s.Health = ev.Health.Level
+					for _, name := range ev.Health.Tripped {
+						if !tripped[name] {
+							tripped[name] = true
+							s.HealthTripped = append(s.HealthTripped, name)
+						}
+					}
+				}
 			}
 		case KindCheckpoint:
 			s.Checkpoints++

@@ -1,7 +1,6 @@
 package solver
 
 import (
-	"fmt"
 	"math"
 
 	"github.com/s3dgo/s3d/internal/grid"
@@ -30,6 +29,14 @@ func (b *Block) extent() (lo, hi [3]int) {
 // iteration warm-starts from the previous value stored in b.T. Each point's
 // recovery is independent, so the sweep tiles over the worker pool with a
 // per-worker species scratch vector.
+//
+// An unrecoverable state (non-positive density, failed temperature
+// inversion) is recorded as a structured health fault and the cell is
+// skipped, leaving its primitives stale: pool workers have no panic
+// recovery, so a worker panic would kill the process with the owner's
+// WaitGroup still waiting. After the barrier the owner re-raises the fault
+// as a panic unless an armed watchdog will turn it into a health.Violation
+// at the end of the step (see health.go).
 func (b *Block) computePrimitives() {
 	defer b.beginRegion("COMPUTE_PRIMITIVES").End()
 
@@ -43,8 +50,8 @@ func (b *Block) computePrimitives() {
 				for i := t.Lo[0]; i < t.Hi[0]; i++ {
 					rho := b.Q[iRho].At(i, j, k)
 					if !(rho > 0) || math.IsNaN(rho) {
-						panic(fmt.Sprintf("solver: non-positive density %g at (%d,%d,%d) step %d",
-							rho, i+b.i0, j+b.j0, k+b.k0, b.Step))
+						b.recordFault("density", "rho", rho, i, j, k, "non-positive density")
+						continue
 					}
 					inv := 1 / rho
 					u := b.Q[iRhoU].At(i, j, k) * inv
@@ -76,8 +83,9 @@ func (b *Block) computePrimitives() {
 					eInt := e0 - 0.5*(u*u+v*v+w*w)
 					T, ok := set.TFromE(eInt, yw, b.T.At(i, j, k))
 					if !ok {
-						panic(fmt.Sprintf("solver: temperature inversion failed at (%d,%d,%d) e=%g",
-							i+b.i0, j+b.j0, k+b.k0, eInt))
+						b.recordFault("temperature_inversion", "e_int", eInt, i, j, k,
+							"temperature inversion failed")
+						continue
 					}
 					Wm := set.MeanW(yw)
 					b.Rho.Set(i, j, k, rho)
@@ -94,6 +102,11 @@ func (b *Block) computePrimitives() {
 			}
 		}
 	})
+	// The WaitGroup barrier inside plan.Run orders every worker's fault
+	// write before this read — no atomics on the healthy path.
+	if b.fault != nil && !b.watchArmed() {
+		panic(b.fault)
+	}
 }
 
 // computeTransport evaluates μ, λ and D over the interior plus valid ghosts,

@@ -11,10 +11,12 @@ package solver
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/health"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/perf"
@@ -219,6 +221,18 @@ type Block struct {
 	collectHRR  bool         // true during the final RK stage when telemetry is on
 	hrrAcc      float64      // heat-release integral of the last step (W)
 	volW        [3][]float64 // per-axis quadrature widths (see cellVol)
+
+	// Run-health watchdog (see health.go). watch may stay nil; the only
+	// per-step cost of a disarmed watchdog is one atomic load. Tiled
+	// kernels record the first would-be panic into fault under faultMu;
+	// the owner reads it lock-free after the kernel's WaitGroup barrier.
+	watch   *health.Watchdog
+	faultMu sync.Mutex
+	fault   *health.Violation
+	hSlots  []hAcc  // ordered per-tile health accumulators
+	hMin    float64 // cached minimum grid spacing for the CFL checks
+	inStep  bool    // true while StepChecked is advancing (fault step index)
+	inj     *nanInjection
 }
 
 // kernScratch is one worker's private scratch for the tiled kernels: the

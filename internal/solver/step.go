@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"math"
 	"time"
 
 	"github.com/s3dgo/s3d/internal/comm"
@@ -19,8 +20,30 @@ func (b *Block) Advance(nSteps int, dt float64) {
 	}
 }
 
-// StepOnce advances a single time step.
+// StepOnce advances a single time step, panicking on an unrecoverable
+// state (the historical contract; StepChecked returns it as an error).
 func (b *Block) StepOnce(dt float64) {
+	if err := b.StepChecked(dt); err != nil {
+		panic(err)
+	}
+}
+
+// StepChecked advances a single time step and, when a health watchdog is
+// armed, evaluates the physics invariants at the end of the step,
+// returning a *health.Violation instead of panicking when the run has
+// gone bad. A kernel fault mid-step (NaN density, failed temperature
+// inversion) does not interrupt the step: the faulting rank completes the
+// step's full communication pattern with the faulted cells skipped, so in
+// decomposed runs no neighbour deadlocks, and all ranks agree on the
+// abort through the end-of-step status-word allreduce. Without an armed
+// watchdog the per-step health cost is a nil check plus at most one
+// atomic load.
+func (b *Block) StepChecked(dt float64) error {
+	if inj := b.inj; inj != nil && b.Step+1 >= inj.step {
+		b.Q[iRhoE].Set(inj.i, inj.j, inj.k, math.NaN())
+		b.inj = nil
+	}
+	b.inStep = true
 	scheme := rk.RK46NL
 	nStages := scheme.Stages()
 	if len(b.StageWall) != nStages {
@@ -77,6 +100,11 @@ func (b *Block) StepOnce(dt float64) {
 	if b.telemetryOn {
 		b.recordStepMetrics(dt, time.Since(stepStart).Seconds())
 	}
+	b.inStep = false
+	if w := b.watch; w != nil && w.Armed() {
+		return b.healthCheck(dt)
+	}
+	return nil
 }
 
 // ApplyFilter applies the tenth-order low-pass filter to every conserved

@@ -40,6 +40,50 @@ type DashboardStatus struct {
 	// simulated time, mean wall time per step, communication volume and
 	// pario cache hit rate. Nil when no trace has been copied in.
 	Telemetry *obs.TraceSummary `json:"telemetry,omitempty"`
+
+	// Health is the run-health lane: the watchdog's verdict for the traced
+	// run, next to the min/max plots. Nil when the trace carried no
+	// watchdog records (run without -health).
+	Health *HealthLane `json:"health,omitempty"`
+}
+
+// HealthLane surfaces the run-health watchdog on the dashboard page: the
+// final level, every check that tripped on any step, and the non-ok
+// timeline, so an operator sees a run going bad — and when it started going
+// bad — without opening the post-mortem bundle.
+type HealthLane struct {
+	Level   string   `json:"level"`             // final step's watchdog level
+	Tripped []string `json:"tripped,omitempty"` // checks warn/fatal on any step
+	// Steps/Levels are the non-ok timeline: the step numbers the watchdog
+	// graded warn or fatal, with the matching level per entry.
+	Steps  []int    `json:"steps,omitempty"`
+	Levels []string `json:"levels,omitempty"`
+	// FirstBadStep is the first non-ok step (0 when the run stayed clean).
+	FirstBadStep int `json:"first_bad_step,omitempty"`
+}
+
+// healthLane builds the lane from parsed trace records; nil when no step
+// record carries a watchdog verdict.
+func healthLane(recs []obs.Record, sum obs.TraceSummary) *HealthLane {
+	lane := &HealthLane{Level: sum.Health, Tripped: sum.HealthTripped}
+	seen := false
+	for _, r := range recs {
+		if r.Kind != obs.KindStep || r.StepData == nil || r.StepData.Health == nil {
+			continue
+		}
+		seen = true
+		if h := r.StepData.Health; h.Level != "ok" {
+			if lane.FirstBadStep == 0 {
+				lane.FirstBadStep = r.StepData.Step
+			}
+			lane.Steps = append(lane.Steps, r.StepData.Step)
+			lane.Levels = append(lane.Levels, h.Level)
+		}
+	}
+	if !seen {
+		return nil
+	}
+	return lane
 }
 
 // minmaxRow is one parsed dashboard table row: step, variable, min, max.
@@ -99,9 +143,12 @@ func BuildDashboard(c *Cluster, jobs []Job) (*DashboardStatus, error) {
 	sort.Strings(status.Variables)
 
 	// An observability trace dropped next to the CSV enriches the page
-	// with solver telemetry; its absence is not an error.
-	if sum, err := obs.SummarizeFile(filepath.Join(c.Dashboard, "trace.jsonl")); err == nil {
+	// with solver telemetry and the health lane; its absence is not an
+	// error.
+	if recs, err := obs.ReadTraceFile(filepath.Join(c.Dashboard, "trace.jsonl")); err == nil {
+		sum := obs.Summarize(recs)
 		status.Telemetry = &sum
+		status.Health = healthLane(recs, sum)
 	}
 
 	for _, name := range status.Variables {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -92,6 +93,71 @@ func TestDashboardTelemetrySummary(t *testing.T) {
 	}
 	if got.Telemetry == nil || got.Telemetry.TMax != 2100 {
 		t.Fatalf("telemetry lost in status.json: %+v", got.Telemetry)
+	}
+	// The trace carried no watchdog records, so there is no health lane.
+	if got.Health != nil {
+		t.Fatalf("no watchdog in trace, yet Health = %+v", got.Health)
+	}
+}
+
+// TestDashboardHealthLane feeds a trace from a run that tripped the
+// watchdog and checks that the lane names the verdict, the tripped checks
+// and the step the run started going bad.
+func TestDashboardHealthLane(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	step := func(n int, health string) string {
+		return `{"kind":"step","step":{"step":` + strconv.Itoa(n) +
+			`,"time":1e-7,"dt":1e-7,"cfl":0.4,"wall_sec":0.5,"stage_wall_sec":[0.1],` +
+			`"t_min":300,"t_max":2100,"p_min":101000,"p_max":102000,"mass_drift":0,` +
+			`"heat_release":0,"comm":{},"pario":{}` + health + `}}` + "\n"
+	}
+	trace := `{"kind":"run_start","time_unix":1,"run":{"case":"liftedflame","config":{}}}` + "\n" +
+		step(1, `,"health":{"level":"ok"}`) +
+		step(2, `,"health":{"level":"warn","tripped":["species_sum"]}`) +
+		step(3, `,"health":{"level":"fatal","tripped":["species_sum","temperature"]}`)
+	if err := os.WriteFile(filepath.Join(c.Dashboard, "trace.jsonl"), []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, err := BuildDashboard(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Health == nil {
+		t.Fatal("watchdog trace present but Health lane nil")
+	}
+	if status.Health.Level != "fatal" {
+		t.Fatalf("lane level = %q, want fatal", status.Health.Level)
+	}
+	if status.Health.FirstBadStep != 2 {
+		t.Fatalf("first bad step = %d, want 2", status.Health.FirstBadStep)
+	}
+	if len(status.Health.Steps) != 2 || status.Health.Steps[0] != 2 || status.Health.Steps[1] != 3 ||
+		status.Health.Levels[0] != "warn" || status.Health.Levels[1] != "fatal" {
+		t.Fatalf("non-ok timeline wrong: steps=%v levels=%v", status.Health.Steps, status.Health.Levels)
+	}
+	want := map[string]bool{"species_sum": true, "temperature": true}
+	for _, name := range status.Health.Tripped {
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("tripped checks missing %v (got %v)", want, status.Health.Tripped)
+	}
+
+	// The lane survives the status.json round trip.
+	data, err := os.ReadFile(filepath.Join(c.Dashboard, "status.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DashboardStatus
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Health == nil || got.Health.Level != "fatal" || got.Health.FirstBadStep != 2 {
+		t.Fatalf("health lane lost in status.json: %+v", got.Health)
 	}
 }
 

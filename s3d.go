@@ -243,9 +243,10 @@ func (c *Config) toSolver() (*solver.Config, error) {
 // Simulation is a running DNS (one block; use RunDecomposed for the
 // MPI-style multi-rank execution).
 type Simulation struct {
-	blk  *solver.Block
-	mech *Mechanism
-	cfg  *Config
+	blk       *solver.Block
+	mech      *Mechanism
+	cfg       *Config
+	healthOpt *HealthOptions // set by EnableHealth (see health.go)
 }
 
 // New builds a serial simulation.

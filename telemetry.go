@@ -112,6 +112,15 @@ func (s *Simulation) StartTelemetry(opt TelemetryOptions) (*Probe, error) {
 		mon.SetRun(info)
 		p.mon = mon
 	}
+	// A watchdog installed before StartTelemetry joins the observability
+	// surface: health gauges in /metrics(.prom) and the live /health
+	// document on the monitor.
+	if w := s.blk.Watchdog(); w != nil {
+		w.AttachMetrics(p.reg)
+		if p.mon != nil {
+			p.mon.Handle("/health", w.Handler())
+		}
+	}
 	return p, nil
 }
 
@@ -141,6 +150,26 @@ func (p *Probe) Advance(n int, dt float64) {
 	blk.RefreshPrimitives()
 }
 
+// TryAdvance is Advance through the health watchdog: it returns the
+// *health.Violation the moment a check trips FATAL, after emitting the
+// fatal step's record (so the trace and monitor reflect the trip within
+// one step) and writing the post-mortem bundle. Identical to Advance when
+// no watchdog is armed.
+func (p *Probe) TryAdvance(n int, dt float64) error {
+	blk := p.sim.blk
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		err := blk.StepChecked(dt)
+		p.observe(dt, time.Since(t0).Seconds())
+		if err != nil {
+			p.sim.dumpPostMortem()
+			return err
+		}
+	}
+	blk.RefreshPrimitives()
+	return nil
+}
+
 // observe assembles and dispatches the record for the step just taken.
 func (p *Probe) observe(dt, wall float64) {
 	blk := p.sim.blk
@@ -166,6 +195,10 @@ func (p *Probe) observe(dt, wall float64) {
 	}
 	if p.opt.Pario != nil {
 		ev.Pario = p.opt.Pario()
+	}
+	if w := blk.Watchdog(); w != nil && w.Armed() {
+		hs := w.ObsStatus()
+		ev.Health = &hs
 	}
 	p.last = ev
 
