@@ -590,6 +590,45 @@ func BenchmarkAssembleFluxesFused(b *testing.B) {
 	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(32*32*32)*1e6, "us/gp")
 }
 
+// --- Registry-backed field arena (DESIGN.md, "Field storage & registry") ---
+
+// BenchmarkRKUpdateBank times one RK46NL stage update over the conserved
+// bank: with Q, dQ and rhs carved as contiguous per-register runs of the
+// FieldSet arena, the update is nvar stride-1 sweeps over full storage
+// (ghosts included — rhs ghosts are identically zero, so dQ and Q ghosts
+// never move; see step.go).
+func BenchmarkRKUpdateBank(b *testing.B) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	blk := rhsBlock(b, pool)
+	blk.EvalRHS(0) // populate rhs so the sweep runs over live data
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.RKUpdateBankOnly(1e-9)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(32*32*32)*1e6, "us/gp")
+}
+
+// BenchmarkHaloPackGroup times packing one ghost-depth face slab of a
+// registry halo group into the reusable exchange buffer — the pack kernel
+// behind each neighbour message, with the field list resolved through the
+// registry groups instead of a hand-built slice.
+func BenchmarkHaloPackGroup(b *testing.B) {
+	pool := par.NewPool(1)
+	defer pool.Close()
+	blk := rhsBlock(b, pool)
+	for _, group := range []string{"conserved", "flux"} {
+		b.Run(group, func(b *testing.B) {
+			floats := 0
+			for i := 0; i < b.N; i++ {
+				floats = blk.PackHaloGroupOnly(group, 0)
+			}
+			b.ReportMetric(float64(floats)*8/1024, "kB/msg")
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*floats)*1e9, "ns/float")
+		})
+	}
+}
+
 // --- §2.6 numerics order ---
 
 func BenchmarkNumericsOrder(b *testing.B) {

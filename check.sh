@@ -5,6 +5,21 @@ set -eu
 
 cd "$(dirname "$0")"
 
+# Registry lint: all solver-adjacent field storage must come from the
+# grid.FieldSet arena (or grid.Scratch for standalone cmd-tool buffers).
+# Direct grid.NewField3* calls are allowed only inside internal/grid
+# itself and in test files.
+echo "== field-registry lint (no grid.NewField3 outside internal/grid and tests)"
+violations=$(grep -rn 'grid\.NewField3' --include='*.go' . \
+	| grep -v '^\./internal/grid/' \
+	| grep -v '_test\.go:' || true)
+if [ -n "$violations" ]; then
+	echo "grid.NewField3 call sites outside internal/grid and tests:" >&2
+	echo "$violations" >&2
+	echo "register the field in a grid.FieldSet (or use grid.Scratch)" >&2
+	exit 1
+fi
+
 echo "== go build ./..."
 go build ./...
 

@@ -130,7 +130,9 @@ func printTable1(lam flame1d.Properties) {
 		lt := cs.LtDeltaL * lam.DeltaL
 		field := turb.NewField(turb.Spectrum{Urms: uPrime, L0: lt * 4}, 200, int64(id))
 		g := grid.New(grid.Spec{Nx: 32, Ny: 32, Nz: 32, Lx: 8 * lt, Ly: 8 * lt, Lz: 8 * lt})
-		u, v, w := grid.NewField3(g), grid.NewField3(g), grid.NewField3(g)
+		u := grid.Scratch("turb_u", g.Nx, g.Ny, g.Nz, grid.Ghost)
+		v := grid.Scratch("turb_v", g.Nx, g.Ny, g.Nz, grid.Ghost)
+		w := grid.Scratch("turb_w", g.Nx, g.Ny, g.Nz, grid.Ghost)
 		fill := func(dst *grid.Field3, comp int) {
 			dst.Map(func(i, j, k int, _ float64) float64 {
 				uu, vv, ww := field.At(g.Xc[i], g.Yc[j], g.Zc[k])
@@ -284,7 +286,7 @@ func progressField(sim *s3d.Simulation, p *s3d.Problem) ([]float64, [3]int) {
 }
 
 func renderFig12(c []float64, dims [3]int, id byte, outDir string) error {
-	f := grid.NewField3Ghost(dims[0], dims[1], dims[2], 0)
+	f := grid.Scratch("progress_c", dims[0], dims[1], dims[2], 0)
 	idx := 0
 	for k := 0; k < dims[2]; k++ {
 		for j := 0; j < dims[1]; j++ {

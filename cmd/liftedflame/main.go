@@ -158,7 +158,7 @@ func fieldAsGrid(sim *s3d.Simulation, name string) (*grid.Field3, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := grid.NewField3Ghost(dims[0], dims[1], dims[2], 0)
+	f := grid.Scratch("viz_scratch", dims[0], dims[1], dims[2], 0)
 	idx := 0
 	for k := 0; k < dims[2]; k++ {
 		for j := 0; j < dims[1]; j++ {

@@ -384,16 +384,18 @@ func (c *checkpointer) write(sim *s3d.Simulation) ([]string, error) {
 	if err := c.writeFile(rst, buf.Bytes()); err != nil {
 		return nil, err
 	}
-	// ...plus an analysis file with the derived fields the workflow plots.
+	// ...plus an analysis file with the derived fields the workflow plots:
+	// the registry's primitive scalars, streamed row-by-row from the field
+	// arena (no per-variable copies).
 	f := sdf.New()
 	f.Attrs["step"] = fmt.Sprint(sim.Step())
 	f.Attrs["time"] = fmt.Sprint(sim.Time())
-	for _, name := range []string{"rho", "u", "v", "w", "T", "p"} {
-		data, dims, err := sim.Field(name)
+	for _, name := range sim.AnalysisFields() {
+		rows, dims, err := sim.FieldRows(name)
 		if err != nil {
 			return nil, err
 		}
-		if err := f.AddVar(name, dims[:], data); err != nil {
+		if err := f.AddVarFunc(name, dims[:], rows); err != nil {
 			return nil, err
 		}
 	}

@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -107,6 +108,14 @@ func produce(c *workflow.Cluster, dumps, steps int) {
 	sim, err := p.NewSimulation()
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Publish the field inventory once, up front: the registry-backed
+	// /fields document, dropped next to the dashboard artefacts so the
+	// page knows every field's role, halo group and checkpoint membership.
+	if data, err := json.MarshalIndent(sim.FieldsDocument(), "", "  "); err == nil {
+		if err := os.WriteFile(filepath.Join(c.Dashboard, "fields.json"), data, 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 	dt := 0.4 * sim.StableDt()
 	for d := 1; d <= dumps; d++ {

@@ -77,7 +77,7 @@ func main() {
 }
 
 func toField(data []float64, dims [3]int) *grid.Field3 {
-	f := grid.NewField3Ghost(dims[0], dims[1], dims[2], 0)
+	f := grid.Scratch("viz_scratch", dims[0], dims[1], dims[2], 0)
 	idx := 0
 	for k := 0; k < dims[2]; k++ {
 		for j := 0; j < dims[1]; j++ {

@@ -119,29 +119,13 @@ func frontCamera(s *Simulation) viz.Camera {
 	}
 }
 
-// solverField exposes the live solver field for zero-copy in-situ use;
-// nil for unknown names. (Interior values only are meaningful.)
+// solverField exposes the live solver field for zero-copy in-situ use; nil
+// for unknown names. Names resolve through the block's field registry
+// ("rho", "u", "T", "Y_OH", … — the /fields endpoint lists the inventory),
+// so the in-situ path and the solver share one naming authority. (Interior
+// values only are meaningful.)
 func (s *Simulation) solverField(name string) fieldRef {
-	switch name {
-	case "rho":
-		return s.blk.Rho
-	case "u":
-		return s.blk.U
-	case "v":
-		return s.blk.V
-	case "w":
-		return s.blk.W
-	case "T":
-		return s.blk.T
-	case "p":
-		return s.blk.P
-	}
-	if len(name) > 2 && name[:2] == "Y_" {
-		if idx := s.mech.SpeciesIndex(name[2:]); idx >= 0 {
-			return s.blk.Y[idx]
-		}
-	}
-	return nil
+	return s.blk.FieldByName(name)
 }
 
 // InSituHistogram accumulates per-observation histograms of a field — the

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -19,12 +20,23 @@ var magic = [4]byte{'S', '3', 'D', 'F'}
 
 const version = 1
 
-// Variable is one named array with its dimensions.
+// Variable is one named array with its dimensions. Data holds the values
+// for materialised variables; a streamed variable (AddVarFunc) carries a
+// Rows source instead and produces its values only at Encode time.
 type Variable struct {
 	Name string
 	Dims []int
 	Data []float64
+	Rows RowSource
 }
+
+// RowSource streams a variable's values as consecutive chunks at Encode
+// time: the source calls emit once per chunk, in order, and the chunks'
+// total length must equal the variable's Size. Emitted slices may alias
+// live field storage — Encode copies them into its write buffer
+// immediately — so large fields are written without being materialised in
+// a contiguous temporary first.
+type RowSource func(emit func(chunk []float64) error) error
 
 // Size returns the expected element count of the dims.
 func (v *Variable) Size() int {
@@ -52,6 +64,17 @@ func (f *File) AddVar(name string, dims []int, data []float64) error {
 			name, dims, v.Size(), len(data))
 	}
 	f.Vars = append(f.Vars, v)
+	return nil
+}
+
+// AddVarFunc appends a streamed variable: rows supplies the values at
+// Encode time (see RowSource). Encode fails if the streamed element count
+// does not match the dims.
+func (f *File) AddVarFunc(name string, dims []int, rows RowSource) error {
+	if rows == nil {
+		return fmt.Errorf("sdf: variable %q has a nil row source", name)
+	}
+	f.Vars = append(f.Vars, Variable{Name: name, Dims: append([]int(nil), dims...), Rows: rows})
 	return nil
 }
 
@@ -102,6 +125,21 @@ func (f *File) Encode(w io.Writer) error {
 	if err := writeU32(uint32(len(f.Vars))); err != nil {
 		return err
 	}
+	// One scratch byte buffer encodes every chunk of every streamed
+	// variable, so writing N fields costs zero per-field allocations.
+	var scratch []byte
+	writeChunk := func(chunk []float64) error {
+		need := 8 * len(chunk)
+		if cap(scratch) < need {
+			scratch = make([]byte, need)
+		}
+		buf := scratch[:need]
+		for i, x := range chunk {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+		}
+		_, err := bw.Write(buf)
+		return err
+	}
 	for i := range f.Vars {
 		v := &f.Vars[i]
 		if err := writeStr(v.Name); err != nil {
@@ -114,6 +152,20 @@ func (f *File) Encode(w io.Writer) error {
 			if err := writeU32(uint32(d)); err != nil {
 				return err
 			}
+		}
+		if v.Rows != nil {
+			n := 0
+			if err := v.Rows(func(chunk []float64) error {
+				n += len(chunk)
+				return writeChunk(chunk)
+			}); err != nil {
+				return err
+			}
+			if n != v.Size() {
+				return fmt.Errorf("sdf: variable %q dims %v need %d values, streamed %d",
+					v.Name, v.Dims, v.Size(), n)
+			}
+			continue
 		}
 		if err := binary.Write(bw, binary.LittleEndian, v.Data); err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 
+	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/sdf"
 )
 
@@ -12,14 +13,27 @@ import (
 // (paper §9) — the full conserved state, sufficient to continue the run
 // bit-exactly. Each rank writes its own block (the N-files layout the
 // workflow later morphs); a serial run writes one file.
+//
+// The variable set and on-disk order come from the field registry: every
+// field registered with a Ckpt name is written, in registration order —
+// the conserved bank (rho, rhou, rhov, rhow, rhoE, rhoY_*) followed by
+// T_guess, the Newton seed that keeps a restarted trajectory bit-identical.
 
-// checkpointVarNames maps conserved indices to stable variable names.
-func (b *Block) checkpointVarNames() []string {
-	names := []string{"rho", "rhou", "rhov", "rhow", "rhoE"}
-	for n := 0; n < b.ns-1; n++ {
-		names = append(names, "rhoY_"+b.mech.Set.Species[n].Name)
+// interiorRows streams a field's interior as contiguous per-row slices in
+// k-then-j order — views straight into the arena, so checkpoint writes copy
+// each value exactly once (field row → encoder buffer) with no per-variable
+// temporary.
+func interiorRows(q *grid.Field3) sdf.RowSource {
+	return func(emit func(chunk []float64) error) error {
+		for k := 0; k < q.Nz; k++ {
+			for j := 0; j < q.Ny; j++ {
+				if err := emit(q.Row(j, k)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
-	return names
 }
 
 // SaveCheckpoint writes the block's conserved state and time bookkeeping.
@@ -34,37 +48,33 @@ func (b *Block) SaveCheckpoint(w io.Writer) error {
 	i0, j0, k0 := b.GlobalOffset()
 	f.Attrs["offset"] = fmt.Sprintf("%d %d %d", i0, j0, k0)
 
-	names := b.checkpointVarNames()
-	for v := 0; v < b.nvar; v++ {
-		data := make([]float64, 0, b.G.Nx*b.G.Ny*b.G.Nz)
-		q := b.Q[v]
-		for k := 0; k < b.G.Nz; k++ {
-			for j := 0; j < b.G.Ny; j++ {
-				row := q.Idx(0, j, k)
-				data = append(data, q.Data[row:row+b.G.Nx]...)
-			}
-		}
-		if err := f.AddVar(names[v], []int{b.G.Nx, b.G.Ny, b.G.Nz}, data); err != nil {
+	dims := []int{b.G.Nx, b.G.Ny, b.G.Nz}
+	for _, id := range b.fs.Checkpointed() {
+		m := b.fs.Meta(id)
+		if err := f.AddVarFunc(m.Ckpt, dims, interiorRows(b.fs.Field(id))); err != nil {
 			return err
 		}
 	}
-	// The temperature field seeds the Newton inversion on restart, keeping
-	// the restarted trajectory bit-identical.
-	tdata := make([]float64, 0, b.G.Nx*b.G.Ny*b.G.Nz)
-	for k := 0; k < b.G.Nz; k++ {
-		for j := 0; j < b.G.Ny; j++ {
-			row := b.T.Idx(0, j, k)
-			tdata = append(tdata, b.T.Data[row:row+b.G.Nx]...)
-		}
-	}
-	if err := f.AddVar("T_guess", []int{b.G.Nx, b.G.Ny, b.G.Nz}, tdata); err != nil {
+	// The Newton warm start is cross-step state on the full storage, not
+	// just the interior: ghost-cell temperatures seed the next step's
+	// primitive recovery over the halo regions, so a bit-exact decomposed
+	// restart needs them restored too. Written as one auxiliary flat
+	// variable after the registry entries; readers without it (or files
+	// without it) still work, with ghost seeds starting from the initial
+	// fill as before.
+	td := b.T.Data
+	if err := f.AddVarFunc("T_guess_halo", []int{len(td)},
+		func(emit func(chunk []float64) error) error { return emit(td) }); err != nil {
 		return err
 	}
 	return f.Encode(w)
 }
 
 // LoadCheckpoint restores a state written by SaveCheckpoint into a block
-// built with a matching configuration.
+// built with a matching configuration. Variables are matched by their
+// registry checkpoint names, so the on-disk order is free to evolve;
+// conserved registers are required, auxiliary entries (the T_guess Newton
+// seed) are restored when present.
 func (b *Block) LoadCheckpoint(r io.Reader) error {
 	f, err := sdf.Decode(r)
 	if err != nil {
@@ -91,34 +101,29 @@ func (b *Block) LoadCheckpoint(r io.Reader) error {
 		return fmt.Errorf("solver: bad checkpoint time: %v", err)
 	}
 
-	names := b.checkpointVarNames()
-	for v := 0; v < b.nvar; v++ {
-		vr := f.Var(names[v])
+	for _, id := range b.fs.Checkpointed() {
+		m := b.fs.Meta(id)
+		vr := f.Var(m.Ckpt)
 		if vr == nil {
-			return fmt.Errorf("solver: checkpoint missing variable %q", names[v])
+			if m.Role != grid.RoleConserved {
+				continue // optional auxiliary entry (e.g. T_guess)
+			}
+			return fmt.Errorf("solver: checkpoint missing variable %q", m.Ckpt)
 		}
 		if len(vr.Data) != b.G.Nx*b.G.Ny*b.G.Nz {
-			return fmt.Errorf("solver: checkpoint variable %q has %d values", names[v], len(vr.Data))
+			return fmt.Errorf("solver: checkpoint variable %q has %d values", m.Ckpt, len(vr.Data))
 		}
-		q := b.Q[v]
+		q := b.fs.Field(id)
 		idx := 0
 		for k := 0; k < b.G.Nz; k++ {
 			for j := 0; j < b.G.Ny; j++ {
-				row := q.Idx(0, j, k)
-				copy(q.Data[row:row+b.G.Nx], vr.Data[idx:idx+b.G.Nx])
+				copy(q.Row(j, k), vr.Data[idx:idx+b.G.Nx])
 				idx += b.G.Nx
 			}
 		}
 	}
-	if tg := f.Var("T_guess"); tg != nil {
-		idx := 0
-		for k := 0; k < b.G.Nz; k++ {
-			for j := 0; j < b.G.Ny; j++ {
-				row := b.T.Idx(0, j, k)
-				copy(b.T.Data[row:row+b.G.Nx], tg.Data[idx:idx+b.G.Nx])
-				idx += b.G.Nx
-			}
-		}
+	if vr := f.Var("T_guess_halo"); vr != nil && len(vr.Data) == len(b.T.Data) {
+		copy(b.T.Data, vr.Data)
 	}
 	b.Step = step
 	b.Time = tme

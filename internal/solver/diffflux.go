@@ -43,7 +43,7 @@ func (b *Block) computeDiffFlux() {
 // benchmarks can time the kernel in isolation (the figure-4 methodology:
 // HPCToolkit pinned this loop nest alone).
 func (b *Block) PrepareDiffFluxInputs() {
-	b.exchangeHalos(b.Q, tagConserved)
+	b.exchangeHalos(b.haloQ, tagConserved)
 	b.computePrimitives()
 	b.computeTransport()
 	b.computeGradients()
@@ -53,13 +53,9 @@ func (b *Block) PrepareDiffFluxInputs() {
 // inputs must have been prepared by PrepareDiffFluxInputs.
 func (b *Block) DiffFluxKernelOnly() { b.computeDiffFlux() }
 
-// naiveScratch lazily allocates the temporary arrays the array-syntax code
-// relies on.
+// naiveScratch returns the temporary arrays the array-syntax code relies
+// on; they are registered in the block's field arena ("naive_t1"/"naive_t2").
 func (b *Block) naiveScratch() (*grid.Field3, *grid.Field3) {
-	if b.naiveT1 == nil {
-		b.naiveT1 = grid.NewField3(b.G)
-		b.naiveT2 = grid.NewField3(b.G)
-	}
 	return b.naiveT1, b.naiveT2
 }
 

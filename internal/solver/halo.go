@@ -46,6 +46,22 @@ func (b *Block) exchangeHalos(fields []*grid.Field3, tagBase int) {
 	}
 }
 
+// PackHaloGroupOnly serialises the low-face ghost-depth slab of a registry
+// halo group ("conserved" or "flux") along axis a into the reusable halo
+// buffer and returns the packed float count — the benchmark hook behind
+// BenchmarkHaloPackGroup, timing exactly the pack kernel of one exchange
+// message.
+func (b *Block) PackHaloGroupOnly(group string, a int) int {
+	fields := b.haloQ
+	if group == haloGroupFlux {
+		fields = b.haloFlux
+	}
+	per := b.slabSize(a) * grid.Ghost
+	buf := b.haloBuffer(2, per*len(fields))
+	b.packSlab(fields, a, 0, grid.Ghost, per, buf)
+	return len(buf)
+}
+
 // wrapAll applies the periodic wrap to every field, one pool item per field
 // (each field's ghost layers are disjoint storage).
 func (b *Block) wrapAll(fields []*grid.Field3, axis grid.Axis) {

@@ -154,21 +154,11 @@ func (b *Block) healthTiles(r par.Range) int {
 	return n
 }
 
-// conservedQuantity names conserved variable v for violations.
+// conservedQuantity names conserved variable v for violations: the
+// registry's stable checkpoint name of the v-th conserved register (the Q
+// bank occupies ids [0, nvar) by registration order).
 func (b *Block) conservedQuantity(v int) string {
-	switch v {
-	case iRho:
-		return "rho"
-	case iRhoU:
-		return "rhou"
-	case iRhoV:
-		return "rhov"
-	case iRhoW:
-		return "rhow"
-	case iRhoE:
-		return "rhoE"
-	}
-	return "rhoY_" + b.mech.Set.Species[v-iY0].Name
+	return b.fs.Meta(v).Ckpt
 }
 
 // healthSample runs the fused health sweep over the interior: NaN scan of

@@ -1,0 +1,278 @@
+package solver
+
+import (
+	"bytes"
+	"hash/fnv"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/par"
+	"github.com/s3dgo/s3d/internal/sdf"
+)
+
+// seedSolutionHash is the FNV-1a hash of the decomposed reacting case's
+// solution bits (rank-sorted Q fields, heat release, total mass after ten
+// steps; see solutionHash) recorded on the pre-registry solver, whose
+// fields were ~60 independent allocations. The arena layout must reproduce
+// it exactly: registry storage is a pure re-homing of the same floats.
+const seedSolutionHash uint64 = 0xe334b76af311e9b5
+
+func solutionHash(ranks []rankState) uint64 {
+	sort.Slice(ranks, func(a, b int) bool {
+		ra, rb := ranks[a], ranks[b]
+		if ra.k0 != rb.k0 {
+			return ra.k0 < rb.k0
+		}
+		if ra.j0 != rb.j0 {
+			return ra.j0 < rb.j0
+		}
+		return ra.i0 < rb.i0
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, r := range ranks {
+		for _, vq := range r.q {
+			for _, bits := range vq {
+				put(bits)
+			}
+		}
+		put(r.hrr)
+		put(r.mass)
+	}
+	return h.Sum64()
+}
+
+// TestArenaLayoutBitCompatibility pins the solver output against the
+// pre-registry (seed) layout: ten steps of the decomposed reacting case,
+// with one worker and with four, must hash to the value recorded before
+// fields moved into the FieldSet arena.
+func TestArenaLayoutBitCompatibility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run reacting case")
+	}
+	for _, workers := range []int{1, 4} {
+		if h := solutionHash(runDecomposed(t, workers)); h != seedSolutionHash {
+			t.Fatalf("workers=%d: solution hash %#016x, seed layout gave %#016x",
+				workers, h, seedSolutionHash)
+		}
+	}
+}
+
+// TestCheckpointOrderingStable pins the on-disk checkpoint ABI: variable
+// names and their order come from the registry's checkpoint list and must
+// never drift, or old restart files stop loading in sequence-sensitive
+// consumers (the pario/cmd write paths iterate this order).
+func TestCheckpointOrderingStable(t *testing.T) {
+	b, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCheckpointState(b)
+	var buf bytes.Buffer
+	if err := b.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := sdf.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"rho", "rhou", "rhov", "rhow", "rhoE",
+		// H2Air transported species (last species N2 recovered from ΣY=1).
+		"rhoY_H2", "rhoY_O2", "rhoY_O", "rhoY_OH", "rhoY_H2O",
+		"rhoY_H", "rhoY_HO2", "rhoY_H2O2",
+		"T_guess",
+		"T_guess_halo",
+	}
+	if len(f.Vars) != len(want) {
+		t.Fatalf("checkpoint has %d variables, want %d", len(f.Vars), len(want))
+	}
+	for i, v := range f.Vars {
+		if v.Name != want[i] {
+			t.Fatalf("checkpoint variable %d is %q, want %q (on-disk order is ABI)", i, v.Name, want[i])
+		}
+	}
+}
+
+// TestLoadPreRegistryCheckpoint loads a restart file written by the
+// pre-registry solver (testdata/checkpoint_prereg.sdf: the serial
+// checkpointConfig case advanced three steps) and checks the restored
+// state bit-for-bit via interior sums recorded at write time.
+func TestLoadPreRegistryCheckpoint(t *testing.T) {
+	raw, err := os.ReadFile("testdata/checkpoint_prereg.sdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadCheckpoint(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pre-registry checkpoint no longer loads: %v", err)
+	}
+	if b.Step != 3 {
+		t.Fatalf("restored step %d, want 3", b.Step)
+	}
+	if bits := math.Float64bits(b.Time); bits != 0x3eae32f0ee144531 {
+		t.Fatalf("restored time bits %#x", bits)
+	}
+	var qsum float64
+	for v := 0; v < b.nvar; v++ {
+		qsum += b.Q[v].SumInterior()
+	}
+	if bits := math.Float64bits(qsum); bits != 0x41758616349da657 {
+		t.Fatalf("conserved-state sum bits %#x, want %#x", bits, uint64(0x41758616349da657))
+	}
+	if bits := math.Float64bits(b.T.SumInterior()); bits != 0x410110d060df203f {
+		t.Fatalf("T_guess sum bits %#x, want %#x", bits, uint64(0x410110d060df203f))
+	}
+	// The restored state must advance: a checkpoint is only as good as the
+	// trajectory it resumes.
+	b.Advance(1, 3e-7)
+}
+
+// TestDecomposedCheckpointRoundTrip runs the registry save/load path on
+// every rank of a decomposed reacting run: a run split by per-rank
+// checkpoint/restore must match the uninterrupted run bit-for-bit.
+func TestDecomposedCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run reacting case")
+	}
+	pool := par.NewPool(4)
+	defer pool.Close()
+	cfg := reactiveConfig()
+	cfg.Pool = pool
+	dt := 2e-8
+
+	type snap struct {
+		i0, j0, k0 int
+		ckpt       []byte
+		q          [][]uint64
+	}
+	byOffset := func(s []snap) map[[3]int]*snap {
+		m := map[[3]int]*snap{}
+		for i := range s {
+			m[[3]int{s[i].i0, s[i].j0, s[i].k0}] = &s[i]
+		}
+		return m
+	}
+	collect := func(body func(b *Block) snap) []snap {
+		ch := make(chan snap, 4)
+		if err := RunParallel(cfg, [3]int{2, 2, 1}, func(b *Block) {
+			hotSpotIC(b)
+			ch <- body(b)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		close(ch)
+		var out []snap
+		for s := range ch {
+			out = append(out, s)
+		}
+		return out
+	}
+	qBits := func(b *Block) [][]uint64 {
+		q := make([][]uint64, b.nvar)
+		for v := 0; v < b.nvar; v++ {
+			for k := 0; k < b.G.Nz; k++ {
+				for j := 0; j < b.G.Ny; j++ {
+					for i := 0; i < b.G.Nx; i++ {
+						q[v] = append(q[v], math.Float64bits(b.Q[v].At(i, j, k)))
+					}
+				}
+			}
+		}
+		return q
+	}
+
+	// Uninterrupted: 6 steps.
+	cont := byOffset(collect(func(b *Block) snap {
+		b.Advance(6, dt)
+		return snap{i0: b.i0, j0: b.j0, k0: b.k0, q: qBits(b)}
+	}))
+	// First half: 3 steps, then checkpoint every rank.
+	half := byOffset(collect(func(b *Block) snap {
+		b.Advance(3, dt)
+		var buf bytes.Buffer
+		if err := b.SaveCheckpoint(&buf); err != nil {
+			panic(err)
+		}
+		return snap{i0: b.i0, j0: b.j0, k0: b.k0, ckpt: buf.Bytes()}
+	}))
+	// Second half: restore each rank from its checkpoint, 3 more steps.
+	final := collect(func(b *Block) snap {
+		s := half[[3]int{b.i0, b.j0, b.k0}]
+		if s == nil {
+			panic("no checkpoint for rank offset")
+		}
+		if err := b.LoadCheckpoint(bytes.NewReader(s.ckpt)); err != nil {
+			panic(err)
+		}
+		if b.Step != 3 {
+			panic("restored step wrong")
+		}
+		b.Advance(3, dt)
+		return snap{i0: b.i0, j0: b.j0, k0: b.k0, q: qBits(b)}
+	})
+
+	for _, g := range final {
+		ref := cont[[3]int{g.i0, g.j0, g.k0}]
+		if ref == nil {
+			t.Fatalf("no continuous rank at offset (%d,%d,%d)", g.i0, g.j0, g.k0)
+		}
+		for v := range g.q {
+			for p := range g.q[v] {
+				if g.q[v][p] != ref.q[v][p] {
+					t.Fatalf("rank(%d,%d,%d): restart diverges at Q[%d] flat %d: %x vs %x",
+						g.i0, g.j0, g.k0, v, p, g.q[v][p], ref.q[v][p])
+				}
+			}
+		}
+	}
+}
+
+// TestBlockRegistryInventory sanity-checks the registry threading: named
+// struct fields alias registry storage, groups match the hoisted halo
+// lists, and the conserved bank spans alias the Q registers.
+func TestBlockRegistryInventory(t *testing.T) {
+	b, err := NewSerial(checkpointConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := b.Fields()
+	if fs.ByName("T") != b.T || fs.ByName("rho") != b.Rho || fs.ByName("Q_rho") != b.Q[iRho] {
+		t.Fatal("registry names do not alias the block's field views")
+	}
+	if b.FieldByName("Y_OH") != b.Y[b.mech.Set.Index("OH")] {
+		t.Fatal("species primitive not resolvable by name")
+	}
+	if got := len(fs.Group(haloGroupConserved)); got != b.nvar {
+		t.Fatalf("conserved halo group has %d fields, want %d", got, b.nvar)
+	}
+	if got := len(fs.Group(haloGroupFlux)); got != 3*b.nvar {
+		t.Fatalf("flux halo group has %d fields, want %d", got, 3*b.nvar)
+	}
+	// Bank span aliasing: writes through Q land in qBank.
+	b.Q[iRhoE].Set(1, 2, 0, 12345)
+	off := iRhoE*fs.FieldLen() + b.Q[iRhoE].Idx(1, 2, 0)
+	if b.qBank[off] != 12345 {
+		t.Fatal("qBank does not alias the Q registers")
+	}
+	// Every field is arena-backed: no stray NewField3 allocations remain.
+	if fs.Len() == 0 || fs.FieldLen() != len(b.T.Data) {
+		t.Fatal("registry arena shape inconsistent")
+	}
+	var _ *grid.Field3 = b.naiveT1
+	if fs.ByName("naive_t1") != b.naiveT1 || fs.ByName("filter_scratch") != b.scratchF {
+		t.Fatal("scratch fields not registered")
+	}
+}

@@ -24,14 +24,14 @@ const (
 // corrections. Every stage with interior extent runs tiled over the block's
 // worker-pool plan.
 func (b *Block) computeRHS(t float64) {
-	b.exchangeHalos(b.Q, tagConserved)
+	b.exchangeHalos(b.haloQ, tagConserved)
 	b.computePrimitives()
 	b.computeTransport()
 	b.computeGradients()
 	b.computeDiffFlux()
 	b.assembleFluxes()
 
-	b.exchangeHalos(b.allFlux, tagFlux)
+	b.exchangeHalos(b.haloFlux, tagFlux)
 
 	b.divergence()
 	if !b.cfg.ChemistryOff {

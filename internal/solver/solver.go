@@ -137,6 +137,12 @@ type Block struct {
 	mech  *chem.Mechanism
 	trans *transport.Model
 
+	// fs is the block's field registry: every Field3 below is carved from
+	// its one contiguous arena, in registration order (see registerFields).
+	// Consumers resolve fields by registered name or halo group; the named
+	// struct fields are hoisted views into the same storage.
+	fs *grid.FieldSet
+
 	cart *comm.Cart // nil for serial runs
 	// offset of the local block in the global grid
 	i0, j0, k0 int
@@ -194,10 +200,16 @@ type Block struct {
 	scratchF         *grid.Field3
 	naiveT1, naiveT2 *grid.Field3 // temporaries of the naive diff-flux kernel
 
-	// allFlux lists every flux component once, in (var, dir) order — the
-	// field set of the second halo exchange, hoisted so computeRHS does not
-	// rebuild the slice every stage.
-	allFlux []*grid.Field3
+	// The Q/dQ/rhs registers are registered consecutively, so each bank is
+	// one contiguous arena run: the RK 2N update and register zeroing are
+	// single stride-1 loops over these spans instead of per-field calls.
+	qBank, dqBank, rhsBank []float64
+
+	// Halo-exchange field lists resolved from the registry groups
+	// ("conserved", "flux"), hoisted so computeRHS does not rebuild them
+	// every stage. Group order is registration order, which fixes the
+	// packed-slab message layout.
+	haloQ, haloFlux []*grid.Field3
 
 	// haloBuf holds the four slab buffers of an axis exchange (recv lo/hi,
 	// send lo/hi), grown on demand and reused across steps.
@@ -318,51 +330,14 @@ func newBlock(cfg *Config, local *grid.Grid, cart *comm.Cart, i0, j0, k0 int) *B
 		ns: ns, nvar: cfg.nVar(),
 		Timers: perf.NewTimers(),
 	}
-	nf := func() *grid.Field3 { return grid.NewField3(local) }
-	b.Q = make([]*grid.Field3, b.nvar)
-	b.dQ = make([]*grid.Field3, b.nvar)
-	b.rhs = make([]*grid.Field3, b.nvar)
-	b.flux = make([][3]*grid.Field3, b.nvar)
-	for v := 0; v < b.nvar; v++ {
-		b.Q[v], b.dQ[v], b.rhs[v] = nf(), nf(), nf()
-		for d := 0; d < 3; d++ {
-			b.flux[v][d] = nf()
-		}
-	}
-	b.Rho, b.U, b.V, b.W, b.T, b.P, b.Wmix = nf(), nf(), nf(), nf(), nf(), nf(), nf()
-	b.Mu, b.Lambda = nf(), nf()
-	b.Y = make([]*grid.Field3, ns)
-	b.D = make([]*grid.Field3, ns)
-	b.dY = make([][3]*grid.Field3, ns)
-	for i := 0; i < ns; i++ {
-		b.Y[i], b.D[i] = nf(), nf()
-		for d := 0; d < 3; d++ {
-			b.dY[i][d] = nf()
-		}
-	}
-	for c := 0; c < 3; c++ {
-		for d := 0; d < 3; d++ {
-			b.dU[c][d] = nf()
-		}
-		b.dT[c], b.dW[c], b.dRho[c], b.dP[c] = nf(), nf(), nf(), nf()
-		b.J[c] = make([]*grid.Field3, ns)
-		for i := 0; i < ns; i++ {
-			b.J[c][i] = nf()
-		}
-	}
+	b.registerFields()
 	b.yw = make([]float64, ns)
 	b.cw = make([]float64, ns)
 	b.wdot = make([]float64, ns)
 	b.hw = make([]float64, ns)
 	b.props = transport.Props{Dmix: make([]float64, ns)}
-	b.scratchF = nf()
 	// T initial guess for Newton inversion.
 	b.T.Fill(300)
-
-	b.allFlux = make([]*grid.Field3, 0, 3*b.nvar)
-	for v := 0; v < b.nvar; v++ {
-		b.allFlux = append(b.allFlux, b.flux[v][0], b.flux[v][1], b.flux[v][2])
-	}
 
 	b.plan = par.NewPlan(cfg.Pool)
 	b.ws = make([]kernScratch, b.plan.Workers())
@@ -414,6 +389,186 @@ func newBlock(cfg *Config, local *grid.Grid, cart *comm.Cart, i0, j0, k0 int) *B
 	}
 	return b
 }
+
+// haloGroupConserved and haloGroupFlux name the two registry halo groups:
+// the conserved state exchanged before each RHS evaluation, and the
+// assembled fluxes exchanged before the divergence.
+const (
+	haloGroupConserved = "conserved"
+	haloGroupFlux      = "flux"
+)
+
+// conservedNames returns the stable conserved-register names in variable
+// order: ρ, momentum, total energy, then the Ns−1 transported partial
+// densities. These double as the on-disk checkpoint variable names (the
+// restart-file ABI) and as the quantity names in health violations.
+func (b *Block) conservedNames() []string {
+	names := []string{"rho", "rhou", "rhov", "rhow", "rhoE"}
+	for n := 0; n < b.ns-1; n++ {
+		names = append(names, "rhoY_"+b.mech.Set.Species[n].Name)
+	}
+	return names
+}
+
+// registerFields declares every field of the block in the registry and
+// carves their storage from one arena. Registration order is ABI:
+//
+//   - Q, dQ and rhs are registered as three consecutive per-register banks,
+//     so the RK 2N update and register zeroing run as stride-1 loops over
+//     contiguous arena spans (the S3D "small number of big arrays" layout);
+//   - the flux components follow in (var, dir) order, fixing the packed
+//     field-major layout of the flux halo-exchange messages;
+//   - checkpoint inclusion (Ckpt) follows registration order, pinning the
+//     on-disk variable order to Q then T_guess — the pre-registry layout,
+//     so old restart files keep loading.
+//
+// Primitive, transport, gradient and scratch fields carry the names the
+// viz/in-situ pickers resolve ("rho", "u", "T", "Y_OH", …).
+func (b *Block) registerFields() {
+	ns := b.ns
+	fs := grid.NewFieldSet(b.G.Nx, b.G.Ny, b.G.Nz, grid.Ghost)
+	b.fs = fs
+
+	qNames := b.conservedNames()
+	spOf := func(v int) int {
+		if v >= iY0 {
+			return v - iY0
+		}
+		return -1
+	}
+	dir := [3]string{"x", "y", "z"}
+
+	qID := make([]int, b.nvar)
+	dqID := make([]int, b.nvar)
+	rhsID := make([]int, b.nvar)
+	for v := 0; v < b.nvar; v++ {
+		qID[v] = fs.Register(grid.FieldMeta{Name: "Q_" + qNames[v], Role: grid.RoleConserved,
+			Species: spOf(v), Group: haloGroupConserved, Ckpt: qNames[v]})
+	}
+	for v := 0; v < b.nvar; v++ {
+		dqID[v] = fs.Register(grid.FieldMeta{Name: "dQ_" + qNames[v], Role: grid.RoleRegister, Species: spOf(v)})
+	}
+	for v := 0; v < b.nvar; v++ {
+		rhsID[v] = fs.Register(grid.FieldMeta{Name: "rhs_" + qNames[v], Role: grid.RoleRegister, Species: spOf(v)})
+	}
+	fluxID := make([][3]int, b.nvar)
+	for v := 0; v < b.nvar; v++ {
+		for d := 0; d < 3; d++ {
+			fluxID[v][d] = fs.Register(grid.FieldMeta{Name: "flux_" + qNames[v] + "_" + dir[d],
+				Role: grid.RoleFlux, Species: spOf(v), Group: haloGroupFlux})
+		}
+	}
+
+	prim := func(name string) int {
+		return fs.Register(grid.FieldMeta{Name: name, Role: grid.RolePrimitive, Species: -1})
+	}
+	rhoID, uID, vID, wID := prim("rho"), prim("u"), prim("v"), prim("w")
+	// The temperature primitive seeds the restart Newton inversion, so it
+	// is the one non-conserved checkpoint entry (on-disk name T_guess).
+	tID := fs.Register(grid.FieldMeta{Name: "T", Role: grid.RolePrimitive, Species: -1, Ckpt: "T_guess"})
+	pID, wmixID := prim("p"), prim("Wmix")
+	yID := make([]int, ns)
+	for n := 0; n < ns; n++ {
+		yID[n] = fs.Register(grid.FieldMeta{Name: "Y_" + b.mech.Set.Species[n].Name,
+			Role: grid.RolePrimitive, Species: n})
+	}
+
+	muID := fs.Register(grid.FieldMeta{Name: "mu", Role: grid.RoleTransport, Species: -1})
+	lamID := fs.Register(grid.FieldMeta{Name: "lambda", Role: grid.RoleTransport, Species: -1})
+	dID := make([]int, ns)
+	for n := 0; n < ns; n++ {
+		dID[n] = fs.Register(grid.FieldMeta{Name: "D_" + b.mech.Set.Species[n].Name,
+			Role: grid.RoleTransport, Species: n})
+	}
+
+	grad := func(name string, sp int) int {
+		return fs.Register(grid.FieldMeta{Name: name, Role: grid.RoleGradient, Species: sp})
+	}
+	vel := [3]string{"u", "v", "w"}
+	var dUID [3][3]int
+	var dTID, dWID, dRhoID, dPID [3]int
+	dYID := make([][3]int, ns)
+	JID := make([][]int, 3)
+	for c := 0; c < 3; c++ {
+		for d := 0; d < 3; d++ {
+			dUID[c][d] = grad("d"+vel[c]+"_d"+dir[d], -1)
+		}
+		dTID[c] = grad("dT_d"+dir[c], -1)
+		dWID[c] = grad("dWmix_d"+dir[c], -1)
+		dRhoID[c] = grad("drho_d"+dir[c], -1)
+		dPID[c] = grad("dp_d"+dir[c], -1)
+	}
+	for n := 0; n < ns; n++ {
+		for d := 0; d < 3; d++ {
+			dYID[n][d] = grad("dY_"+b.mech.Set.Species[n].Name+"_d"+dir[d], n)
+		}
+	}
+	for c := 0; c < 3; c++ {
+		JID[c] = make([]int, ns)
+		for n := 0; n < ns; n++ {
+			JID[c][n] = fs.Register(grid.FieldMeta{Name: "J_" + b.mech.Set.Species[n].Name + "_" + dir[c],
+				Role: grid.RoleFlux, Species: n})
+		}
+	}
+
+	scratchID := fs.Register(grid.FieldMeta{Name: "filter_scratch", Role: grid.RoleScratch, Species: -1})
+	// The naive diff-flux kernel's array-statement temporaries, registered
+	// eagerly so the kernel never lazily allocates outside the arena.
+	nt1ID := fs.Register(grid.FieldMeta{Name: "naive_t1", Role: grid.RoleScratch, Species: -1})
+	nt2ID := fs.Register(grid.FieldMeta{Name: "naive_t2", Role: grid.RoleScratch, Species: -1})
+
+	fs.Build()
+
+	b.Q = make([]*grid.Field3, b.nvar)
+	b.dQ = make([]*grid.Field3, b.nvar)
+	b.rhs = make([]*grid.Field3, b.nvar)
+	b.flux = make([][3]*grid.Field3, b.nvar)
+	for v := 0; v < b.nvar; v++ {
+		b.Q[v], b.dQ[v], b.rhs[v] = fs.Field(qID[v]), fs.Field(dqID[v]), fs.Field(rhsID[v])
+		for d := 0; d < 3; d++ {
+			b.flux[v][d] = fs.Field(fluxID[v][d])
+		}
+	}
+	b.qBank = fs.Span(qID[0], b.nvar)
+	b.dqBank = fs.Span(dqID[0], b.nvar)
+	b.rhsBank = fs.Span(rhsID[0], b.nvar)
+	b.haloQ = fs.Group(haloGroupConserved)
+	b.haloFlux = fs.Group(haloGroupFlux)
+
+	b.Rho, b.U, b.V, b.W = fs.Field(rhoID), fs.Field(uID), fs.Field(vID), fs.Field(wID)
+	b.T, b.P, b.Wmix = fs.Field(tID), fs.Field(pID), fs.Field(wmixID)
+	b.Mu, b.Lambda = fs.Field(muID), fs.Field(lamID)
+	b.Y = make([]*grid.Field3, ns)
+	b.D = make([]*grid.Field3, ns)
+	b.dY = make([][3]*grid.Field3, ns)
+	for n := 0; n < ns; n++ {
+		b.Y[n], b.D[n] = fs.Field(yID[n]), fs.Field(dID[n])
+		for d := 0; d < 3; d++ {
+			b.dY[n][d] = fs.Field(dYID[n][d])
+		}
+	}
+	for c := 0; c < 3; c++ {
+		for d := 0; d < 3; d++ {
+			b.dU[c][d] = fs.Field(dUID[c][d])
+		}
+		b.dT[c], b.dW[c] = fs.Field(dTID[c]), fs.Field(dWID[c])
+		b.dRho[c], b.dP[c] = fs.Field(dRhoID[c]), fs.Field(dPID[c])
+		b.J[c] = make([]*grid.Field3, ns)
+		for n := 0; n < ns; n++ {
+			b.J[c][n] = fs.Field(JID[c][n])
+		}
+	}
+	b.scratchF = fs.Field(scratchID)
+	b.naiveT1, b.naiveT2 = fs.Field(nt1ID), fs.Field(nt2ID)
+}
+
+// Fields returns the block's field registry: the single source of truth for
+// field identity (names, roles, halo groups, checkpoint inclusion) and the
+// owner of the backing arena.
+func (b *Block) Fields() *grid.FieldSet { return b.fs }
+
+// FieldByName resolves a registered field by name (nil when absent).
+func (b *Block) FieldByName(name string) *grid.Field3 { return b.fs.ByName(name) }
 
 // NumSpecies returns the species count.
 func (b *Block) NumSpecies() int { return b.ns }

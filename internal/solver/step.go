@@ -54,9 +54,10 @@ func (b *Block) StepChecked(dt float64) error {
 	rhsCall := 0
 	stepSpan := b.profT.Begin("STEP")
 	defer stepSpan.End()
-	// Zero the 2N accumulation registers.
-	for v := 0; v < b.nvar; v++ {
-		b.dQ[v].Fill(0)
+	// Zero the 2N accumulation registers: the dQ bank is one contiguous
+	// arena run, so this is a single stride-1 sweep.
+	for i := range b.dqBank {
+		b.dqBank[i] = 0
 	}
 	scheme.Drive(b.Time, dt, func(stageTime float64) {
 		stageStart = time.Now()
@@ -72,22 +73,7 @@ func (b *Block) StepChecked(dt float64) error {
 		rhsSpan.End()
 	}, func(stage int, a, bb, _ float64) {
 		reg := b.beginRegion("RK_UPDATE")
-		// Update interior points only; ghosts are refreshed by exchange.
-		// Pure per-point arithmetic, so the tiling cannot change the bits.
-		b.plan.Run("RK_UPDATE", b.interior(), func(t par.Tile, _ int) {
-			for v := 0; v < b.nvar; v++ {
-				dq, q, r := b.dQ[v].Data, b.Q[v].Data, b.rhs[v].Data
-				for k := t.Lo[2]; k < t.Hi[2]; k++ {
-					for j := t.Lo[1]; j < t.Hi[1]; j++ {
-						row := b.Q[v].Idx(t.Lo[0], j, k)
-						for i := row; i < row+(t.Hi[0]-t.Lo[0]); i++ {
-							dq[i] = a*dq[i] + dt*r[i]
-							q[i] += bb * dq[i]
-						}
-					}
-				}
-			}
-		})
+		b.rkUpdateBank(a, bb, dt)
 		reg.End()
 		b.StageWall[stage] = time.Since(stageStart).Seconds()
 	})
@@ -107,6 +93,32 @@ func (b *Block) StepChecked(dt float64) error {
 	return nil
 }
 
+// rkUpdateBank advances the RK 2N registers: dq ← a·dq + dt·rhs and
+// q ← q + bb·dq. The Q/dQ/rhs banks are per-register arena runs, so the
+// update is one stride-1 loop per register over the full storage — no tile
+// bookkeeping, no per-field indexing. Covering the ghost layers is bitwise
+// safe: rhs ghosts are never written (they hold exact zeros from
+// allocation), so dq stays zero there and q is unchanged; interior points
+// see exactly the per-point arithmetic of the former interior-tiled update,
+// which no chunking can alter.
+func (b *Block) rkUpdateBank(a, bb, dt float64) {
+	per := b.fs.FieldLen()
+	b.plan.RunItems("RK_UPDATE", b.nvar, func(v, _ int) {
+		lo := v * per
+		dq := b.dqBank[lo : lo+per]
+		q := b.qBank[lo : lo+per]
+		r := b.rhsBank[lo : lo+per]
+		for i := range dq {
+			dq[i] = a*dq[i] + dt*r[i]
+			q[i] += bb * dq[i]
+		}
+	})
+}
+
+// RKUpdateBankOnly runs one register update with representative RK46NL
+// coefficients (benchmark hook for BenchmarkRKUpdateBank).
+func (b *Block) RKUpdateBankOnly(dt float64) { b.rkUpdateBank(-0.7, 0.5, dt) }
+
 // ApplyFilter applies the tenth-order low-pass filter to every conserved
 // field along every axis (paper §2.6: an eleven-point explicit filter
 // removes spurious high-frequency fluctuations).
@@ -122,7 +134,7 @@ func (b *Block) ApplyFilter() {
 		if b.G.Dim(a) == 1 {
 			continue
 		}
-		b.exchangeHalos(b.Q, tagConserved)
+		b.exchangeHalos(b.haloQ, tagConserved)
 		lo, hi := b.lohi(a)
 		for v := 0; v < b.nvar; v++ {
 			// Two tiled passes with a barrier between: the filter reads Q
@@ -142,7 +154,7 @@ func (b *Block) ApplyFilter() {
 // RefreshPrimitives recomputes the primitive fields from the current
 // conserved state (for diagnostics between steps).
 func (b *Block) RefreshPrimitives() {
-	b.exchangeHalos(b.Q, tagConserved)
+	b.exchangeHalos(b.haloQ, tagConserved)
 	b.computePrimitives()
 }
 

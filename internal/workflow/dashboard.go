@@ -45,6 +45,64 @@ type DashboardStatus struct {
 	// run, next to the min/max plots. Nil when the trace carried no
 	// watchdog records (run without -health).
 	Health *HealthLane `json:"health,omitempty"`
+
+	// Fields is the run's field inventory (dashboard/fields.json, the
+	// solver-registry /fields document dropped in by the production
+	// driver): every field's name, role, halo group and checkpoint
+	// membership. Nil when no inventory has been copied in.
+	Fields *FieldsLane `json:"fields,omitempty"`
+}
+
+// FieldEntry mirrors one entry of the fields.json inventory — the field
+// registry metadata the solver publishes (see the root package's
+// FieldInfo and the monitor's /fields endpoint).
+type FieldEntry struct {
+	Name       string `json:"name"`
+	Role       string `json:"role"`
+	Species    string `json:"species,omitempty"`
+	HaloGroup  string `json:"halo_group,omitempty"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Derived    bool   `json:"derived,omitempty"`
+}
+
+// FieldsLane is the dashboard's registry view: the producing run's grid,
+// the full inventory, and the checkpoint subset in on-disk order (the
+// restart-file ABI an operator checks before morphing or archiving).
+type FieldsLane struct {
+	Grid         [3]int         `json:"grid"`
+	Count        int            `json:"count"`
+	Fields       []FieldEntry   `json:"fields"`
+	Checkpointed []string       `json:"checkpointed,omitempty"`
+	RoleCounts   map[string]int `json:"role_counts,omitempty"`
+}
+
+// readFieldsLane parses fields.json into the dashboard lane.
+func readFieldsLane(path string) (*FieldsLane, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Grid   [3]int       `json:"grid"`
+		Count  int          `json:"count"`
+		Fields []FieldEntry `json:"fields"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("workflow: %s: %v", path, err)
+	}
+	lane := &FieldsLane{
+		Grid:       doc.Grid,
+		Count:      doc.Count,
+		Fields:     doc.Fields,
+		RoleCounts: map[string]int{},
+	}
+	for _, f := range doc.Fields {
+		lane.RoleCounts[f.Role]++
+		if f.Checkpoint != "" {
+			lane.Checkpointed = append(lane.Checkpointed, f.Checkpoint)
+		}
+	}
+	return lane, nil
 }
 
 // HealthLane surfaces the run-health watchdog on the dashboard page: the
@@ -149,6 +207,12 @@ func BuildDashboard(c *Cluster, jobs []Job) (*DashboardStatus, error) {
 		sum := obs.Summarize(recs)
 		status.Telemetry = &sum
 		status.Health = healthLane(recs, sum)
+	}
+
+	// Likewise the field inventory: the producer drops the registry's
+	// /fields document next to the CSV; its absence is not an error.
+	if lane, err := readFieldsLane(filepath.Join(c.Dashboard, "fields.json")); err == nil {
+		status.Fields = lane
 	}
 
 	for _, name := range status.Variables {

@@ -161,6 +161,52 @@ func TestDashboardHealthLane(t *testing.T) {
 	}
 }
 
+func TestDashboardFieldsLane(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	// A trimmed /fields document as the production driver drops it.
+	doc := `{"grid":[16,12,1],"ghost":5,"count":4,"fields":[
+{"name":"Q_rho","role":"conserved","halo_group":"conserved","checkpoint":"rho"},
+{"name":"T","role":"primitive","checkpoint":"T_guess"},
+{"name":"Y_OH","role":"primitive","species":"OH"},
+{"name":"hrr","role":"derived","derived":true}]}`
+	if err := os.WriteFile(filepath.Join(c.Dashboard, "fields.json"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, err := BuildDashboard(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := status.Fields
+	if lane == nil {
+		t.Fatal("fields.json present but Fields nil")
+	}
+	if lane.Grid != [3]int{16, 12, 1} || lane.Count != 4 || len(lane.Fields) != 4 {
+		t.Fatalf("lane shape wrong: %+v", lane)
+	}
+	if len(lane.Checkpointed) != 2 || lane.Checkpointed[0] != "rho" || lane.Checkpointed[1] != "T_guess" {
+		t.Fatalf("checkpoint subset %v (order is the on-disk ABI)", lane.Checkpointed)
+	}
+	if lane.RoleCounts["primitive"] != 2 || lane.RoleCounts["conserved"] != 1 {
+		t.Fatalf("role counts %v", lane.RoleCounts)
+	}
+	if lane.Fields[2].Species != "OH" {
+		t.Fatalf("species metadata lost: %+v", lane.Fields[2])
+	}
+	// The lane survives the status.json round trip.
+	data, _ := os.ReadFile(filepath.Join(c.Dashboard, "status.json"))
+	var got DashboardStatus
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Fields == nil || got.Fields.Count != 4 {
+		t.Fatalf("fields lane lost in status.json: %+v", got.Fields)
+	}
+}
+
 func TestDashboardWithoutTraceOmitsTelemetry(t *testing.T) {
 	c, err := NewCluster(t.TempDir())
 	if err != nil {

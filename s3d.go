@@ -33,7 +33,6 @@ package s3d
 import (
 	"fmt"
 	"io"
-	"strings"
 
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/comm"
@@ -298,42 +297,24 @@ func (s *Simulation) Coords() (x, y, z []float64) {
 }
 
 // Field extracts a named field over the interior, flattened x-fastest,
-// together with its dims. Names: "rho", "u", "v", "w", "T", "p",
-// "Y_<species>" (e.g. "Y_OH"), "hrr" (heat release rate, W/m³).
+// together with its dims. Names resolve through the solver's field
+// registry — "rho", "u", "v", "w", "T", "p", "Y_<species>" (e.g. "Y_OH")
+// and every other registered field (see Fields for the inventory) — plus
+// the derived "hrr" (heat release rate, W/m³).
 func (s *Simulation) Field(name string) ([]float64, [3]int, error) {
 	nx, ny, nz := s.Dims()
 	dims := [3]int{nx, ny, nz}
-	var get func(i, j, k int) float64
-	switch {
-	case name == "rho":
-		get = s.blk.Rho.At
-	case name == "u":
-		get = s.blk.U.At
-	case name == "v":
-		get = s.blk.V.At
-	case name == "w":
-		get = s.blk.W.At
-	case name == "T":
-		get = s.blk.T.At
-	case name == "p":
-		get = s.blk.P.At
-	case name == "hrr":
+	if name == "hrr" {
 		return s.heatRelease(), dims, nil
-	case strings.HasPrefix(name, "Y_"):
-		idx := s.mech.SpeciesIndex(strings.TrimPrefix(name, "Y_"))
-		if idx < 0 {
-			return nil, dims, fmt.Errorf("s3d: unknown species in field %q", name)
-		}
-		get = s.blk.Y[idx].At
-	default:
+	}
+	f := s.blk.FieldByName(name)
+	if f == nil {
 		return nil, dims, fmt.Errorf("s3d: unknown field %q", name)
 	}
 	out := make([]float64, 0, nx*ny*nz)
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
-			for i := 0; i < nx; i++ {
-				out = append(out, get(i, j, k))
-			}
+			out = append(out, f.Row(j, k)...)
 		}
 	}
 	return out, dims, nil

@@ -111,6 +111,9 @@ func (s *Simulation) StartTelemetry(opt TelemetryOptions) (*Probe, error) {
 		}
 		mon.SetRun(info)
 		p.mon = mon
+		// The registry-backed field inventory: names, roles, halo groups
+		// and checkpoint membership of every solver field, live.
+		p.mon.Handle("/fields", s.fieldsHandler())
 	}
 	// A watchdog installed before StartTelemetry joins the observability
 	// surface: health gauges in /metrics(.prom) and the live /health
