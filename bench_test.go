@@ -724,3 +724,64 @@ func BenchmarkHealthOverhead(b *testing.B) {
 		}
 	}
 }
+
+// --- In-situ analysis overhead ---
+
+// BenchmarkAnalysisOverhead measures the cost of the in-situ science
+// reduction — the fused end-of-step operator sweep with the full standard
+// spec (moments, histogram, conditional means, flame surface, heat release)
+// — against an unanalysed run of the same problem, and fails if the
+// overhead exceeds the 2% budget the pipeline is designed to (matching
+// BenchmarkObsOverhead and BenchmarkHealthOverhead). When installed but
+// disabled the whole feature costs one nil check and one atomic load per
+// step, which is below benchmark noise by construction.
+func BenchmarkAnalysisOverhead(b *testing.B) {
+	const warm, measure, trials = 2, 8, 4
+	newSim := func() (*Simulation, *Problem) {
+		p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := p.NewSimulation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim, p
+	}
+	for i := 0; i < b.N; i++ {
+		off, on := math.Inf(1), math.Inf(1)
+		for t := 0; t < trials; t++ {
+			sim, _ := newSim()
+			dt := 0.4 * sim.StableDt()
+			sim.Advance(warm, dt)
+			start := time.Now()
+			sim.Advance(measure, dt)
+			if w := time.Since(start).Seconds(); w < off {
+				off = w
+			}
+
+			sim, p := newSim()
+			dt = 0.4 * sim.StableDt()
+			if _, err := sim.EnableAnalysis(p.StandardAnalysis()); err != nil {
+				b.Fatal(err)
+			}
+			if err := sim.Subscribe(func(AnalysisRecord) {}); err != nil {
+				b.Fatal(err)
+			}
+			sim.Advance(warm, dt)
+			start = time.Now()
+			sim.Advance(measure, dt)
+			if w := time.Since(start).Seconds(); w < on {
+				on = w
+			}
+		}
+		overhead := (on - off) / off * 100
+		b.ReportMetric(off/measure*1e3, "off_ms/step")
+		b.ReportMetric(on/measure*1e3, "on_ms/step")
+		b.ReportMetric(overhead, "overhead_%")
+		if overhead > 2.0 {
+			b.Errorf("analysis overhead %.2f%% exceeds the 2%% budget (off %.3fms on %.3fms per step)",
+				overhead, off/measure*1e3, on/measure*1e3)
+		}
+	}
+}

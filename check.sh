@@ -53,4 +53,15 @@ go test -race -timeout 15m -run xxx -bench BenchmarkProfOverhead -benchtime 1x .
 echo "== go test -race -run TestHealthSmoke ./cmd/s3d"
 go test -race -timeout 10m -run TestHealthSmoke ./cmd/s3d
 
+# Analysis gate: the in-situ reduction pipeline under the race detector
+# (operators, pipeline, store), the determinism pin (a decomposed run's
+# analysis.jsonl must be byte-identical at 1 and 4 workers), and the
+# 2-rank CLI smoke test that validates the artifact end to end.
+echo "== go test -race ./internal/insitu"
+go test -race -timeout 10m ./internal/insitu
+echo "== go test -race -run 'TestAnalysisBitwiseDeterministicAcrossWorkers|TestAnalysisLiveEndpoints' ."
+go test -race -timeout 10m -run 'TestAnalysisBitwiseDeterministicAcrossWorkers|TestAnalysisLiveEndpoints' .
+echo "== go test -race -run TestAnalysisSmoke ./cmd/s3d"
+go test -race -timeout 10m -run TestAnalysisSmoke ./cmd/s3d
+
 echo "CHECK OK"

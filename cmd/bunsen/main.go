@@ -24,6 +24,7 @@ import (
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/perf"
 	"github.com/s3dgo/s3d/internal/prof"
@@ -53,6 +54,8 @@ func main() {
 	workers := flag.Int("workers", 0, "kernel worker-pool size (0: all CPUs)")
 	healthOn := flag.Bool("health", false, "arm the run-health watchdog per case (structured abort + flight recorder instead of a panic)")
 	flightRec := flag.String("flightrec", "", "flight-recorder bundle root; per-case bundles land in <dir>/caseA… (default <out>/health when -health)")
+	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline per case; records land in per-case JSONL files (case letter inserted before the extension)")
+	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
 	flag.Parse()
 
 	s3d.SetWorkers(*workers)
@@ -69,7 +72,8 @@ func main() {
 		printTable1(lam)
 	}
 	if *surface || *gradc || all {
-		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr, *profileDir, *flightRec)
+		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr, *profileDir, *flightRec,
+			*analysisPath, *analysisEvery)
 	}
 }
 
@@ -151,7 +155,8 @@ func printTable1(lam flame1d.Properties) {
 	}
 }
 
-func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr, profileDir, flightRec string) {
+func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr, profileDir, flightRec string,
+	analysisPath string, analysisEvery int) {
 	var machines []perf.Machine
 	if profileDir != "" {
 		machines = s3d.ProfileMachines()
@@ -179,6 +184,23 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 				BundleDir:           filepath.Join(flightRec, fmt.Sprintf("case%c", id)),
 				EmergencyCheckpoint: true,
 			})
+		}
+		// Analysis before StartTelemetry so the probe mounts /analysis; for
+		// the premixed cases the problem streams define the progress
+		// variable, so the standard set includes ⟨Y_OH|c⟩ and ∫|∇c| dV.
+		var astore *insitu.Store
+		if analysisPath != "" {
+			spec := p.StandardAnalysis()
+			spec.Every = analysisEvery
+			if _, err := sim.EnableAnalysis(spec); err != nil {
+				log.Fatal(err)
+			}
+			if astore, err = s3d.NewAnalysisStore(casePath(analysisPath, id)); err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.Subscribe(astore.Sink()); err != nil {
+				log.Fatal(err)
+			}
 		}
 		var tr *obs.Trace
 		if tracePath != "" {
@@ -237,6 +259,15 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 			if err := tr.Close(); err != nil {
 				log.Fatal(err)
 			}
+		}
+		if astore != nil {
+			if err := astore.Err(); err != nil {
+				fmt.Printf("  analysis store dropped records: %v\n", err)
+			}
+			if err := astore.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote analysis records to %s\n", casePath(analysisPath, id))
 		}
 		if profiler != nil {
 			dir := filepath.Join(profileDir, fmt.Sprintf("case%c", id))

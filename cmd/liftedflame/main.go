@@ -40,6 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "kernel worker-pool size (0: all CPUs)")
 	healthOn := flag.Bool("health", false, "arm the run-health watchdog (structured abort + flight recorder instead of a panic)")
 	flightRec := flag.String("flightrec", "", "flight-recorder bundle directory (default <out>/health when -health)")
+	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline and append its records (JSONL) to this file")
+	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
 	flag.Parse()
 
 	s3d.SetWorkers(*workers)
@@ -67,6 +69,31 @@ func main() {
 	}
 	if *healthOn {
 		sim.EnableHealth(s3d.HealthOptions{BundleDir: *flightRec, EmergencyCheckpoint: true})
+	}
+	// Analysis before StartTelemetry, so the probe mounts /analysis and
+	// the analysis_* gauges.
+	if *analysisPath != "" {
+		spec := p.StandardAnalysis()
+		spec.Every = *analysisEvery
+		if _, err := sim.EnableAnalysis(spec); err != nil {
+			log.Fatal(err)
+		}
+		store, err := s3d.NewAnalysisStore(*analysisPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := store.Err(); err != nil {
+				fmt.Printf("analysis store dropped records: %v\n", err)
+			}
+			if err := store.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote analysis records to %s\n", *analysisPath)
+		}()
+		if err := sim.Subscribe(store.Sink()); err != nil {
+			log.Fatal(err)
+		}
 	}
 	var tr *obs.Trace
 	if *tracePath != "" {

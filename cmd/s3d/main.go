@@ -24,6 +24,7 @@ import (
 
 	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/pario"
 	"github.com/s3dgo/s3d/internal/perf"
@@ -52,6 +53,8 @@ func main() {
 	healthOn := flag.Bool("health", false, "arm the run-health watchdog: physics invariants per step, structured abort with a post-mortem bundle instead of a panic")
 	flightRec := flag.String("flightrec", "", "flight-recorder bundle directory (default <out>/health when -health)")
 	injectNaN := flag.Int("inject-nan", 0, "plant a NaN in the conserved energy at the start of step N (watchdog test hook; implies -health)")
+	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline and append its records (JSONL) to this file")
+	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
 	flag.Parse()
 
 	if *injectNaN > 0 {
@@ -77,7 +80,7 @@ func main() {
 
 	if *ranks != "" {
 		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport, *profileDir,
-			*healthOn, *flightRec, *injectNaN)
+			*healthOn, *flightRec, *injectNaN, *analysisPath, *analysisEvery)
 		return
 	}
 	sim, err := prob.NewSimulation()
@@ -95,6 +98,12 @@ func main() {
 		if *injectNaN > 0 {
 			sim.InjectNaN(*injectNaN)
 		}
+	}
+	// Likewise the analysis pipeline: enabled before StartTelemetry so the
+	// probe mounts /analysis and the analysis_* gauges.
+	if *analysisPath != "" {
+		store := enableAnalysis(sim, prob, *analysisPath, *analysisEvery)
+		defer closeAnalysisStore(store, *analysisPath)
 	}
 	if *resume != "" {
 		in, err := os.Open(*resume)
@@ -196,6 +205,35 @@ func main() {
 	}
 }
 
+// enableAnalysis turns on the problem's standard science-reduction set and
+// streams every record into a JSONL store at path.
+func enableAnalysis(sim *s3d.Simulation, prob *s3d.Problem, path string, every int) *insitu.Store {
+	spec := prob.StandardAnalysis()
+	spec.Every = every
+	if _, err := sim.EnableAnalysis(spec); err != nil {
+		log.Fatal(err)
+	}
+	store, err := s3d.NewAnalysisStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Subscribe(store.Sink()); err != nil {
+		log.Fatal(err)
+	}
+	return store
+}
+
+// closeAnalysisStore flushes the store and reports any dropped appends.
+func closeAnalysisStore(store *insitu.Store, path string) {
+	if err := store.Err(); err != nil {
+		fmt.Printf("analysis store %s dropped records: %v\n", path, err)
+	}
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote analysis records to %s\n", path)
+}
+
 func writeAndRecord(ckpt *checkpointer, sim *s3d.Simulation, probe *s3d.Probe) {
 	paths, err := ckpt.write(sim)
 	if err != nil {
@@ -249,7 +287,7 @@ func buildProblem(name string, nx, ny, nz int) *s3d.Problem {
 }
 
 func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool, profileDir string,
-	healthOn bool, flightRec string, injectNaN int) {
+	healthOn bool, flightRec string, injectNaN int, analysisPath string, analysisEvery int) {
 	var dims [3]int
 	if n, err := fmt.Sscanf(strings.ToLower(ranks), "%dx%dx%d", &dims[0], &dims[1], &dims[2]); n != 3 || err != nil {
 		log.Fatalf("bad -ranks %q (want e.g. 2x2x1)", ranks)
@@ -285,6 +323,26 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 			r.EnableHealth(s3d.HealthOptions{BundleDir: flightRec, EmergencyCheckpoint: true})
 			if injectNaN > 0 && r.Rank == nRanks-1 {
 				r.InjectNaN(injectNaN)
+			}
+		}
+		// Analysis too is collective: every rank enables the identical
+		// spec; only rank 0 subscribes the store (records agree bitwise
+		// across ranks, so one copy suffices).
+		if analysisPath != "" {
+			spec := prob.StandardAnalysis()
+			spec.Every = analysisEvery
+			if _, err := r.EnableAnalysis(spec); err != nil {
+				panic(err)
+			}
+			if r.Rank == 0 {
+				store, err := s3d.NewAnalysisStore(analysisPath)
+				if err != nil {
+					panic(err)
+				}
+				defer closeAnalysisStore(store, analysisPath)
+				if err := r.Subscribe(store.Sink()); err != nil {
+					panic(err)
+				}
 			}
 		}
 		dt := 0.4 * r.StableDtGlobal()

@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/health"
 )
 
@@ -178,5 +180,54 @@ func TestHealthSmoke(t *testing.T) {
 	}
 	if fi, err := os.Stat(matches[0]); err != nil || fi.Size() == 0 {
 		t.Fatalf("emergency checkpoint unreadable or empty: %v", err)
+	}
+}
+
+// TestAnalysisSmoke drives the real CLI on a 2-rank decomposed inert box
+// with the in-situ reduction pipeline enabled and validates the artifact:
+// analysis.jsonl must load, respect the cadence, and carry finite science
+// products on every record.
+func TestAnalysisSmoke(t *testing.T) {
+	dir := t.TempDir()
+	apath := filepath.Join(dir, "analysis.jsonl")
+	os.Args = []string{"s3d",
+		"-problem", "box", "-nx", "24", "-ny", "16", "-nz", "1",
+		"-steps", "4", "-ranks", "2x1x1", "-workers", "2",
+		"-out", filepath.Join(dir, "out"),
+		"-analysis", apath, "-analysis-every", "2",
+	}
+	main()
+
+	recs, err := s3d.ReadAnalysis(apath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 { // steps 2 and 4 at cadence 2
+		t.Fatalf("got %d analysis records, want 2", len(recs))
+	}
+	for i, want := range []int{2, 4} {
+		rec := recs[i]
+		if rec.Step != want || rec.Time <= 0 {
+			t.Fatalf("record %d: step %d time %g, want step %d", i, rec.Step, rec.Time, want)
+		}
+		if len(rec.Products) == 0 {
+			t.Fatalf("record %d has no products", i)
+		}
+		seen := map[string]bool{}
+		for _, pr := range rec.Products {
+			seen[pr.Name] = true
+			for k, v := range pr.Scalars {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("record %d %s.%s is not finite", i, pr.Name, k)
+				}
+			}
+		}
+		// The inert box's standard spec: Favre temperature moments and the
+		// temperature histogram at minimum.
+		for _, want := range []string{"T_favre", "T"} {
+			if !seen[want] {
+				t.Fatalf("record %d missing product %q (have %v)", i, want, seen)
+			}
+		}
 	}
 }

@@ -117,6 +117,20 @@ func produce(c *workflow.Cluster, dumps, steps int) {
 			log.Fatal(err)
 		}
 	}
+	// In-situ science lane: the reduction pipeline streams its per-dump
+	// records straight into the dashboard directory, where BuildDashboard
+	// picks them up as the AnalysisLane.
+	if _, err := sim.EnableAnalysis(p.StandardAnalysis()); err != nil {
+		log.Fatal(err)
+	}
+	astore, err := s3d.NewAnalysisStore(filepath.Join(c.Dashboard, "analysis.jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer astore.Close()
+	if err := sim.Subscribe(astore.Sink()); err != nil {
+		log.Fatal(err)
+	}
 	dt := 0.4 * sim.StableDt()
 	for d := 1; d <= dumps; d++ {
 		sim.Advance(steps, dt)

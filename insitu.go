@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/stats"
 	"github.com/s3dgo/s3d/internal/viz"
 )
@@ -48,13 +49,33 @@ func (s *Simulation) AdvanceInSitu(n int, dt float64, every int, obs Observer) {
 
 // InSituImager renders a two-layer fused volume image of the named fields
 // directly from solver storage at each observation, writing numbered PNGs.
-// A nil second field name renders a single layer.
+// A nil second field name renders a single layer. Render failures never
+// take the simulation down: they are counted in the insitu.render_errors
+// metric (when Metrics is set) and the first one is retained for Err.
 type InSituImager struct {
 	Dir            string
 	FieldA, FieldB string
 	Width, Height  int
 
+	// Metrics, when non-nil, counts render/write failures under
+	// insitu.render_errors (insitu_render_errors in /metrics.prom).
+	// Wire it to Probe.Metrics to surface drops on the live monitor.
+	Metrics *obs.Registry
+
 	frames int
+	err    error
+}
+
+// Err returns the first frame-write failure, or nil while every frame has
+// rendered cleanly.
+func (im *InSituImager) Err() error { return im.err }
+
+// fail records one dropped frame.
+func (im *InSituImager) fail(err error) {
+	im.Metrics.Counter("insitu.render_errors").Inc()
+	if im.err == nil {
+		im.err = err
+	}
 }
 
 // Observer returns the Observer that renders one frame per call.
@@ -96,10 +117,19 @@ func (im *InSituImager) Observer() (Observer, error) {
 		im.frames++
 		out, err := os.Create(path)
 		if err != nil {
-			return // in-situ rendering must never take the simulation down
+			// In-situ rendering must never take the simulation down — but a
+			// dropped frame is counted and the first error kept for Err.
+			im.fail(err)
+			return
 		}
-		defer out.Close()
-		_ = viz.WritePNG(out, r.Render())
+		if err := viz.WritePNG(out, r.Render()); err != nil {
+			out.Close()
+			im.fail(err)
+			return
+		}
+		if err := out.Close(); err != nil {
+			im.fail(err)
+		}
 	}, nil
 }
 
@@ -129,7 +159,10 @@ func (s *Simulation) solverField(name string) fieldRef {
 }
 
 // InSituHistogram accumulates per-observation histograms of a field — the
-// time-histogram feed of the §8.2 interface, built in-situ.
+// time-histogram feed of the §8.2 interface, built in-situ. When Lo/Hi do
+// not describe a range (Hi ≤ Lo), the bounds are derived from the field's
+// extrema at the FIRST observation and frozen for the rest of the run, so
+// every snapshot shares one axis and the stack is mutually comparable.
 type InSituHistogram struct {
 	Field     string
 	Bins      int
@@ -147,14 +180,15 @@ func (ih *InSituHistogram) Observer() Observer {
 		if f == nil {
 			return
 		}
-		lo, hi := ih.Lo, ih.Hi
-		if hi <= lo {
-			lo, hi = f.MinMax()
-			if hi <= lo {
-				hi = lo + 1
+		if ih.Hi <= ih.Lo {
+			// Freeze auto-derived bounds into the struct at first sight so
+			// later snapshots keep the same axis.
+			ih.Lo, ih.Hi = f.MinMax()
+			if ih.Hi <= ih.Lo {
+				ih.Hi = ih.Lo + 1
 			}
 		}
-		h := stats.NewHistogram(ih.Bins, lo, hi)
+		h := stats.NewHistogram(ih.Bins, ih.Lo, ih.Hi)
 		f.Each(func(_, _, _ int, v float64) { h.Add(v) })
 		ih.Snapshots = append(ih.Snapshots, h.Normalized())
 	}

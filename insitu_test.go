@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/s3dgo/s3d/internal/obs"
 )
 
 func inertBoxSim(t *testing.T) *Simulation {
@@ -90,6 +92,108 @@ func TestComposeObservers(t *testing.T) {
 	sim.AdvanceInSitu(2, 1e-7, 1, obs)
 	if a != 2 || b != 2 {
 		t.Fatalf("composed observers ran %d/%d times", a, b)
+	}
+}
+
+func TestAdvanceInSituEdgeCases(t *testing.T) {
+	t.Run("every greater than n", func(t *testing.T) {
+		sim := inertBoxSim(t)
+		dt := 0.5 * sim.StableDt()
+		calls := 0
+		sim.AdvanceInSitu(3, dt, 100, func(*Simulation) { calls++ })
+		// One burst clipped to n → exactly one observation, at the end.
+		if calls != 1 {
+			t.Fatalf("observer calls = %d, want 1", calls)
+		}
+		if sim.Step() != 3 {
+			t.Fatalf("steps = %d, want 3", sim.Step())
+		}
+	})
+	t.Run("every non-positive", func(t *testing.T) {
+		sim := inertBoxSim(t)
+		dt := 0.5 * sim.StableDt()
+		calls := 0
+		sim.AdvanceInSitu(4, dt, 0, func(*Simulation) { calls++ })
+		// every <= 0 selects one observation at the end of the run.
+		if calls != 1 {
+			t.Fatalf("observer calls = %d, want 1 (every<=0 observes once at the end)", calls)
+		}
+		if sim.Step() != 4 {
+			t.Fatalf("steps = %d, want 4", sim.Step())
+		}
+	})
+	t.Run("zero steps", func(t *testing.T) {
+		sim := inertBoxSim(t)
+		calls := 0
+		sim.AdvanceInSitu(0, 1e-7, 2, func(*Simulation) { calls++ })
+		if calls != 0 {
+			t.Fatalf("observer calls = %d, want 0 for n == 0", calls)
+		}
+		if sim.Step() != 0 {
+			t.Fatalf("steps = %d, want 0", sim.Step())
+		}
+	})
+}
+
+func TestComposeAllNilObservers(t *testing.T) {
+	sim := inertBoxSim(t)
+	obs := Compose(nil, nil, nil)
+	// Must be callable without panicking.
+	sim.AdvanceInSitu(2, 1e-7, 1, obs)
+	if sim.Step() != 2 {
+		t.Fatalf("steps = %d, want 2", sim.Step())
+	}
+}
+
+func TestInSituHistogramFreezesAutoBounds(t *testing.T) {
+	sim := inertBoxSim(t)
+	ih := &InSituHistogram{Field: "T", Bins: 8} // Hi <= Lo → auto-range
+	dt := 0.5 * sim.StableDt()
+	obs := ih.Observer()
+	obs(sim)
+	lo0, hi0 := ih.Lo, ih.Hi
+	if !(hi0 > lo0) {
+		t.Fatalf("first observation must freeze bounds, got [%g, %g]", lo0, hi0)
+	}
+	// The state evolves between observations; the axis must not.
+	sim.AdvanceInSitu(4, dt, 2, obs)
+	if ih.Lo != lo0 || ih.Hi != hi0 {
+		t.Fatalf("bounds drifted: [%g, %g] → [%g, %g]; snapshots are no longer comparable",
+			lo0, hi0, ih.Lo, ih.Hi)
+	}
+	if len(ih.Snapshots) != 3 {
+		t.Fatalf("snapshots = %d, want 3", len(ih.Snapshots))
+	}
+}
+
+func TestInSituImagerSurfacesRenderErrors(t *testing.T) {
+	sim := inertBoxSim(t)
+	dir := filepath.Join(t.TempDir(), "frames")
+	reg := obs.NewRegistry()
+	im := &InSituImager{Dir: dir, FieldA: "T", Width: 32, Height: 24, Metrics: reg}
+	observer, err := im.Observer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer(sim)
+	if im.Err() != nil {
+		t.Fatalf("healthy frame reported error: %v", im.Err())
+	}
+	// Take the output directory away: os.Create must fail, the simulation
+	// must NOT, and the failure must be counted and retained.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	observer(sim)
+	observer(sim)
+	if im.Err() == nil {
+		t.Fatal("Err() must surface the first frame-write failure")
+	}
+	if got := reg.Counter("insitu.render_errors").Value(); got != 2 {
+		t.Fatalf("insitu.render_errors = %d, want 2", got)
 	}
 }
 

@@ -471,3 +471,21 @@ func (c *Comm) Allgather(vals []float64) [][]float64 {
 	c.world.bytesSent[c.rank].Add(int64(8 * len(vals)))
 	return out
 }
+
+// AllreduceOrdered reduces vals across all ranks with a caller-supplied
+// combiner, folding rank contributions in ascending rank order — unlike
+// Allreduce, whose arrival-order fold makes floating-point sums
+// run-to-run nondeterministic. Every rank gets the bitwise-identical
+// result. Built on Allgather; counted as one allreduce. All ranks must
+// call with equal lengths.
+func (c *Comm) AllreduceOrdered(vals []float64, combine func(dst, src []float64)) {
+	slots := c.Allgather(vals)
+	c.world.allreduces[c.rank].Add(1)
+	copy(vals, slots[0])
+	for r := 1; r < len(slots); r++ {
+		if len(slots[r]) != len(vals) {
+			panic("comm: AllreduceOrdered length mismatch across ranks")
+		}
+		combine(vals, slots[r])
+	}
+}

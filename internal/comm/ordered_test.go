@@ -1,0 +1,91 @@
+package comm
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestAllreduceOrderedSum checks the ordered reduction agrees with the
+// plain sum and returns the identical result on every rank.
+func TestAllreduceOrderedSum(t *testing.T) {
+	const n = 4
+	var mu sync.Mutex
+	results := make([][]float64, n)
+	w := NewWorld(n)
+	err := w.Run(func(c *Comm) {
+		vals := []float64{float64(c.Rank() + 1), 10 * float64(c.Rank()+1)}
+		c.AllreduceOrdered(vals, func(dst, src []float64) {
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		})
+		mu.Lock()
+		results[c.Rank()] = append([]float64(nil), vals...)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 100} // 1+2+3+4 and 10+20+30+40
+	for r, got := range results {
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("rank %d: got %v, want %v", r, got, want)
+		}
+	}
+}
+
+// TestAllreduceOrderedDeterministic checks the fold order is rank order:
+// with a non-commutative-in-floating-point sum, repeated runs must produce
+// bitwise-identical results regardless of goroutine scheduling.
+func TestAllreduceOrderedDeterministic(t *testing.T) {
+	const n = 4
+	// Magnitudes chosen so (a+b)+c differs in the last ulp from permuted
+	// orders: catastrophic cancellation against rank order.
+	contrib := []float64{1e16, 3.14159, -1e16, 2.71828}
+	run := func() float64 {
+		var out float64
+		var mu sync.Mutex
+		w := NewWorld(n)
+		err := w.Run(func(c *Comm) {
+			vals := []float64{contrib[c.Rank()]}
+			c.AllreduceOrdered(vals, func(dst, src []float64) { dst[0] += src[0] })
+			if c.Rank() == 0 {
+				mu.Lock()
+				out = vals[0]
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// The reference: explicit ascending-rank fold.
+	want := contrib[0]
+	for r := 1; r < n; r++ {
+		want += contrib[r]
+	}
+	for trial := 0; trial < 20; trial++ {
+		if got := run(); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("trial %d: got %x, want %x (fold must be ascending rank order)",
+				trial, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestAllreduceOrderedCountsCollective checks the call charges the
+// allreduce counter like its unordered sibling.
+func TestAllreduceOrderedCountsCollective(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		vals := []float64{1}
+		c.AllreduceOrdered(vals, func(dst, src []float64) { dst[0] += src[0] })
+		if got := c.Stats().Allreduces; got != 1 {
+			panic("allreduce counter not charged")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/health"
+	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/perf"
@@ -245,6 +246,14 @@ type Block struct {
 	hMin    float64 // cached minimum grid spacing for the CFL checks
 	inStep  bool    // true while StepChecked is advancing (fault step index)
 	inj     *nanInjection
+
+	// In-situ analysis pipeline (see analysis.go). analysis may stay nil;
+	// a disabled pipeline costs StepChecked one atomic load per step.
+	analysis *insitu.Pipeline
+	aSlots   [][]float64   // ordered per-tile accumulator rows
+	aSub     [][][]float64 // aSub[tile][op] = that op's slot window in the row
+	aAcc     []float64     // merged vector (+1 trailing heat-release slot)
+	aDue     bool          // this step ends in an analysis reduction
 }
 
 // kernScratch is one worker's private scratch for the tiled kernels: the

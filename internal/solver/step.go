@@ -44,6 +44,8 @@ func (b *Block) StepChecked(dt float64) error {
 		b.inj = nil
 	}
 	b.inStep = true
+	// One atomic load per step when analysis is installed but disabled.
+	b.aDue = b.analysis != nil && b.analysis.Due(b.Step+1)
 	scheme := rk.RK46NL
 	nStages := scheme.Stages()
 	if len(b.StageWall) != nStages {
@@ -63,8 +65,10 @@ func (b *Block) StepChecked(dt float64) error {
 		stageStart = time.Now()
 		rhsCall++
 		// The heat-release integral piggybacks on the final stage's
-		// chemistry sweep (see telemetry.go).
-		b.collectHRR = b.telemetryOn && rhsCall == nStages
+		// chemistry sweep (see telemetry.go); a due analysis step needing
+		// heat release requests the same collection.
+		b.collectHRR = (b.telemetryOn || (b.aDue && b.analysis.WantHeatRelease())) &&
+			rhsCall == nStages
 		if b.collectHRR {
 			b.hrrAcc = 0
 		}
@@ -88,8 +92,14 @@ func (b *Block) StepChecked(dt float64) error {
 	}
 	b.inStep = false
 	if w := b.watch; w != nil && w.Armed() {
-		return b.healthCheck(dt)
+		if err := b.healthCheck(dt); err != nil {
+			return err
+		}
 	}
+	// Analysis reduces only after a clean health check: healthCheck's
+	// status word guarantees every rank returns from the same step, so the
+	// reduction's collective matches across ranks.
+	b.analysisStep()
 	return nil
 }
 

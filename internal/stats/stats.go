@@ -60,6 +60,22 @@ func (b *Bilger) XiStoich() float64 {
 	return -b.betaOx / (b.betaF - b.betaOx)
 }
 
+// LinearWeights expresses the (unclipped) mixture fraction as a linear
+// form over the species mass fractions, ξ = w0 + Σ_n w[n]·Y[n] — possible
+// because β is linear in Y. In-situ consumers evaluate ξ per cell as one
+// dot product over the species fields without assembling a Y slice.
+func (b *Bilger) LinearWeights(ns int) (w []float64, w0 float64) {
+	den := b.betaF - b.betaOx
+	w = make([]float64, ns)
+	e := make([]float64, ns)
+	for n := 0; n < ns; n++ {
+		e[n] = 1
+		w[n] = b.beta(e) / den
+		e[n] = 0
+	}
+	return w, -b.betaOx / den
+}
+
 // Progress computes the reaction progress variable used in §7.3: a linear
 // function of the O2 mass fraction with c = 0 in reactants and c = 1 in
 // products.

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/viz"
 )
@@ -51,6 +52,12 @@ type DashboardStatus struct {
 	// driver): every field's name, role, halo group and checkpoint
 	// membership. Nil when no inventory has been copied in.
 	Fields *FieldsLane `json:"fields,omitempty"`
+
+	// Analysis is the in-situ science lane (dashboard/analysis.jsonl, the
+	// reduction pipeline's store dropped in by the producer): what was
+	// reduced, how often, and the final record's scalar statistics. Nil
+	// when no analysis store has been copied in.
+	Analysis *AnalysisLane `json:"analysis,omitempty"`
 }
 
 // FieldEntry mirrors one entry of the fields.json inventory — the field
@@ -103,6 +110,44 @@ func readFieldsLane(path string) (*FieldsLane, error) {
 		}
 	}
 	return lane, nil
+}
+
+// AnalysisLane surfaces the in-situ science-reduction pipeline on the
+// dashboard page: the record count and span, the product inventory, and
+// the final record's scalar statistics — the "is the flame doing what we
+// expect" glance without loading the full store.
+type AnalysisLane struct {
+	Records   int      `json:"records"`
+	FirstStep int      `json:"first_step"`
+	LastStep  int      `json:"last_step"`
+	LastTime  float64  `json:"last_time"`
+	Products  []string `json:"products,omitempty"`
+	// Scalars flattens the final record's scalar statistics as
+	// "<product>.<name>" → value (e.g. "T_favre.mean", "heat_release.watts").
+	Scalars map[string]float64 `json:"scalars,omitempty"`
+}
+
+// analysisLane builds the lane from a loaded analysis store; nil when the
+// store is empty.
+func analysisLane(recs []insitu.Record) *AnalysisLane {
+	if len(recs) == 0 {
+		return nil
+	}
+	last := recs[len(recs)-1]
+	lane := &AnalysisLane{
+		Records:   len(recs),
+		FirstStep: recs[0].Step,
+		LastStep:  last.Step,
+		LastTime:  last.Time,
+		Scalars:   map[string]float64{},
+	}
+	for _, pr := range last.Products {
+		lane.Products = append(lane.Products, pr.Name)
+		for k, v := range pr.Scalars {
+			lane.Scalars[pr.Name+"."+k] = v
+		}
+	}
+	return lane
 }
 
 // HealthLane surfaces the run-health watchdog on the dashboard page: the
@@ -213,6 +258,12 @@ func BuildDashboard(c *Cluster, jobs []Job) (*DashboardStatus, error) {
 	// /fields document next to the CSV; its absence is not an error.
 	if lane, err := readFieldsLane(filepath.Join(c.Dashboard, "fields.json")); err == nil {
 		status.Fields = lane
+	}
+
+	// And the in-situ analysis store: the producer drops analysis.jsonl
+	// next to the CSV; its absence is not an error.
+	if recs, err := insitu.ReadAnalysis(filepath.Join(c.Dashboard, "analysis.jsonl")); err == nil {
+		status.Analysis = analysisLane(recs)
 	}
 
 	for _, name := range status.Variables {

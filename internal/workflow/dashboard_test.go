@@ -278,3 +278,64 @@ func TestDashboardSingleSampleSkipsPlot(t *testing.T) {
 		t.Fatal("single-point trace should not plot")
 	}
 }
+
+// TestDashboardAnalysisLane drops an in-situ analysis store next to the
+// dashboard CSV and checks BuildDashboard surfaces it as the science lane.
+func TestDashboardAnalysisLane(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	store := `{"step":2,"time":2e-8,"products":[{"op":"moments","name":"T_favre","scalars":{"mean":350,"rms":40}}]}
+{"step":4,"time":4e-8,"products":[{"op":"moments","name":"T_favre","scalars":{"mean":360,"rms":41}},{"op":"scalar","name":"heat_release","scalars":{"watts":1.5e6}}]}
+`
+	if err := os.WriteFile(filepath.Join(c.Dashboard, "analysis.jsonl"), []byte(store), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, err := BuildDashboard(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := status.Analysis
+	if lane == nil {
+		t.Fatal("analysis.jsonl present but Analysis lane nil")
+	}
+	if lane.Records != 2 || lane.FirstStep != 2 || lane.LastStep != 4 || lane.LastTime != 4e-8 {
+		t.Fatalf("lane span wrong: %+v", lane)
+	}
+	if len(lane.Products) != 2 || lane.Products[0] != "T_favre" || lane.Products[1] != "heat_release" {
+		t.Fatalf("product inventory wrong: %v", lane.Products)
+	}
+	if lane.Scalars["T_favre.mean"] != 360 || lane.Scalars["heat_release.watts"] != 1.5e6 {
+		t.Fatalf("scalars not flattened from the final record: %v", lane.Scalars)
+	}
+	// The lane survives the status.json round trip.
+	data, err := os.ReadFile(filepath.Join(c.Dashboard, "status.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DashboardStatus
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Analysis == nil || got.Analysis.Scalars["T_favre.mean"] != 360 {
+		t.Fatalf("analysis lane lost in status.json: %+v", got.Analysis)
+	}
+}
+
+// TestDashboardWithoutAnalysisOmitsLane: no store, no lane.
+func TestDashboardWithoutAnalysisOmitsLane(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	status, err := BuildDashboard(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Analysis != nil {
+		t.Fatalf("no analysis.jsonl, yet Analysis = %+v", status.Analysis)
+	}
+}

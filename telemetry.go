@@ -124,6 +124,14 @@ func (s *Simulation) StartTelemetry(opt TelemetryOptions) (*Probe, error) {
 			p.mon.Handle("/health", w.Handler())
 		}
 	}
+	// Likewise an analysis pipeline enabled before StartTelemetry: the
+	// analysis_* gauges in /metrics(.prom) and the live /analysis document.
+	if ap := s.blk.Analysis(); ap != nil {
+		ap.AttachMetrics(p.reg)
+		if p.mon != nil {
+			p.mon.Handle("/analysis", ap.Handler())
+		}
+	}
 	return p, nil
 }
 
