@@ -20,6 +20,23 @@ if [ -n "$violations" ]; then
 	exit 1
 fi
 
+# Precision lint: float32 narrowing is a storage-layer concern. The only
+# places allowed to write a literal float32(...) conversion are the arena
+# (internal/grid), the kernel backends (internal/kernels) and test files —
+# everything else must go through Field3 accessors or gradView widening, so
+# a demoted field can never silently truncate in compute code.
+echo "== precision lint (no float32( conversions outside internal/grid, internal/kernels and tests)"
+violations=$(grep -rn 'float32(' --include='*.go' . \
+	| grep -v '^\./internal/grid/' \
+	| grep -v '^\./internal/kernels/' \
+	| grep -v '_test\.go:' || true)
+if [ -n "$violations" ]; then
+	echo "float32( conversions outside internal/grid, internal/kernels and tests:" >&2
+	echo "$violations" >&2
+	echo "route narrowing through the FieldSet arena accessors instead" >&2
+	exit 1
+fi
+
 echo "== go build ./..."
 go build ./...
 
@@ -35,6 +52,15 @@ go test -race -timeout 45m ./...
 # concurrency (see TestMain in internal/solver/par_test.go).
 echo "== S3D_WORKERS=4 go test -race ./internal/par ./internal/solver"
 S3D_WORKERS=4 go test -race -timeout 45m ./internal/par ./internal/solver
+
+# Backend-parity gate: the blocked kernels must reproduce the generic
+# trajectory bit-for-bit on the decomposed reacting case, under the race
+# detector and with a real multi-worker pool (TestBlockedBackendBitwiseParity
+# pins the solution hash against the seed; the mixed-policy test pins
+# cross-backend and cross-worker-count agreement under float32 demotion).
+echo "== S3D_WORKERS=4 go test -race -run 'TestBlockedBackendBitwiseParity|TestMixedPolicy' ./internal/solver"
+S3D_WORKERS=4 go test -race -timeout 15m \
+	-run 'TestBlockedBackendBitwiseParity|TestMixedPolicy' ./internal/solver
 
 # Profiler gate: a tiny decomposed cmd/s3d run with -profile must emit a
 # trace_event timeline that parses with at least one span per rank (the

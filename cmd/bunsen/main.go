@@ -56,8 +56,16 @@ func main() {
 	flightRec := flag.String("flightrec", "", "flight-recorder bundle root; per-case bundles land in <dir>/caseA… (default <out>/health when -health)")
 	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline per case; records land in per-case JSONL files (case letter inserted before the extension)")
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
+	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (bitwise interchangeable)")
+	precision := flag.String("precision", "", "per-field storage policy: strict | mixed")
 	flag.Parse()
 
+	if err := s3d.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+	if err := s3d.SetPrecision(*precision); err != nil {
+		log.Fatal(err)
+	}
 	s3d.SetWorkers(*workers)
 	if *healthOn && *flightRec == "" {
 		*flightRec = filepath.Join(*outDir, "health")

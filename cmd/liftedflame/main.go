@@ -42,8 +42,16 @@ func main() {
 	flightRec := flag.String("flightrec", "", "flight-recorder bundle directory (default <out>/health when -health)")
 	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline and append its records (JSONL) to this file")
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
+	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (bitwise interchangeable)")
+	precision := flag.String("precision", "", "per-field storage policy: strict | mixed")
 	flag.Parse()
 
+	if err := s3d.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+	if err := s3d.SetPrecision(*precision); err != nil {
+		log.Fatal(err)
+	}
 	s3d.SetWorkers(*workers)
 	if *healthOn && *flightRec == "" {
 		*flightRec = filepath.Join(*outDir, "health")

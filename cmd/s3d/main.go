@@ -55,6 +55,8 @@ func main() {
 	injectNaN := flag.Int("inject-nan", 0, "plant a NaN in the conserved energy at the start of step N (watchdog test hook; implies -health)")
 	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline and append its records (JSONL) to this file")
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
+	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (e.g. rk_update=blocked,diff=generic); bitwise interchangeable")
+	precision := flag.String("precision", "", "per-field storage policy: strict (all float64) | mixed (float32 gradients/transport, float64 compute)")
 	flag.Parse()
 
 	if *injectNaN > 0 {
@@ -62,6 +64,12 @@ func main() {
 	}
 	if *healthOn && *flightRec == "" {
 		*flightRec = filepath.Join(*outDir, "health")
+	}
+	if err := s3d.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+	if err := s3d.SetPrecision(*precision); err != nil {
+		log.Fatal(err)
 	}
 	s3d.SetWorkers(*workers)
 	prob := buildProblem(*problem, *nx, *ny, *nz)

@@ -1,0 +1,137 @@
+package deriv
+
+import (
+	"math"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/kernels"
+)
+
+// stretchedMetric returns the metric line of a genuinely stretched grid
+// direction (the algebraic transverse stretching of paper §2.6), so the
+// parity tests run the per-point metric multiply with non-trivial values.
+func stretchedMetric(n int) []float64 {
+	g := grid.New(grid.Spec{Nx: 4, Ny: n, Nz: 1, Lx: 1, Ly: 1, Lz: 1,
+		StretchY: true, Beta: 1.8})
+	return g.Metric(grid.Y)
+}
+
+// straddlingTilings returns tile decompositions of the axis-aligned box
+// whose cuts land inside the one-sided closure regions (width 4 for the
+// derivative, 5 for the filter), so individual tiles straddle the
+// closure/interior seam at both BC ends.
+func straddlingTilings(dims [3]int, ax int) [][2][3]int {
+	n := dims[ax]
+	var out [][2][3]int
+	add := func(lo, hi int) {
+		l, h := [3]int{0, 0, 0}, dims
+		l[ax], h[ax] = lo, hi
+		out = append(out, [2][3]int{l, h})
+	}
+	// One tile covering everything (both ends at once), then a split with
+	// both cut points inside the closure regions: [0,2), [2,n-3), [n-3,n).
+	add(0, n)
+	add(0, 2)
+	add(2, n-3)
+	add(n-3, n)
+	return out
+}
+
+// TestDiffRangeOnBackendsBitwise: for every backend, axis and closure
+// combination, tiles that straddle both BC ends must reproduce the
+// whole-field Diff bitwise on a stretched metric — the kernels contract
+// (backends change addressing, never arithmetic).
+func TestDiffRangeOnBackendsBitwise(t *testing.T) {
+	nx, ny, nz := 14, 12, 11
+	f := randomField(nx, ny, nz, 21)
+	dims := [3]int{nx, ny, nz}
+	for _, a := range []grid.Axis{grid.X, grid.Y, grid.Z} {
+		met := stretchedMetric(dims[int(a)])
+		for _, bc := range [][2]BC{{UseGhosts, UseGhosts}, {OneSided, OneSided}, {OneSided, UseGhosts}} {
+			want := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+			Diff(want, f, a, met, bc[0], bc[1])
+			for _, name := range kernels.Names() {
+				im, _ := kernels.Get(name)
+				got := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+				for _, box := range straddlingTilings(dims, int(a)) {
+					DiffRangeOn(im, got, f, a, met, bc[0], bc[1], box[0], box[1], OpSet)
+				}
+				for i := range want.Data {
+					if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+						t.Fatalf("backend %s axis %v bc %v: flat %d = %x want %x",
+							name, a, bc, i, math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFilterRangeOnBackendsBitwise mirrors the Diff test for the filter.
+func TestFilterRangeOnBackendsBitwise(t *testing.T) {
+	nx, ny, nz := 15, 13, 12
+	f := randomField(nx, ny, nz, 22)
+	dims := [3]int{nx, ny, nz}
+	for _, a := range []grid.Axis{grid.X, grid.Y, grid.Z} {
+		for _, bc := range [][2]BC{{UseGhosts, UseGhosts}, {OneSided, OneSided}} {
+			want := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+			Filter(want, f, a, 0.7, bc[0], bc[1])
+			for _, name := range kernels.Names() {
+				im, _ := kernels.Get(name)
+				got := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+				for _, box := range straddlingTilings(dims, int(a)) {
+					FilterRangeOn(im, got, f, a, 0.7, bc[0], bc[1], box[0], box[1], OpSet)
+				}
+				for i := range want.Data {
+					if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+						t.Fatalf("backend %s axis %v bc %v: flat %d differs", name, a, bc, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDiffRangeOnNarrowDst: a float32 destination (a demoted gradient under
+// the mixed policy) must receive the float64 stencil result rounded once on
+// store, identically for every backend — i.e. float32(full-width result).
+func TestDiffRangeOnNarrowDst(t *testing.T) {
+	nx, ny, nz := 12, 10, 9
+	f := randomField(nx, ny, nz, 23)
+	met := stretchedMetric(ny)
+	dims := [3]int{nx, ny, nz}
+
+	narrow := func() *grid.Field3 {
+		fs := grid.NewFieldSetPolicy(nx, ny, nz, grid.Ghost, grid.PolicyMixed)
+		id := fs.Register(grid.FieldMeta{Name: "g", Role: grid.RoleGradient, Species: -1})
+		fs.Build()
+		return fs.Field(id)
+	}
+
+	wide := grid.NewField3Ghost(nx, ny, nz, grid.Ghost)
+	Diff(wide, f, grid.Y, met, OneSided, OneSided)
+
+	for _, name := range kernels.Names() {
+		im, _ := kernels.Get(name)
+		got := narrow()
+		if got.Data32 == nil {
+			t.Fatal("mixed-policy gradient must be float32 storage")
+		}
+		for _, box := range straddlingTilings(dims, 1) {
+			DiffRangeOn(im, got, f, grid.Y, met, OneSided, OneSided, box[0], box[1], OpSet)
+		}
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					w := float32(wide.At(i, j, k))
+					g := float32(got.At(i, j, k))
+					if math.Float32bits(w) != math.Float32bits(g) {
+						t.Fatalf("backend %s: (%d,%d,%d) = %x want %x (round-once contract)",
+							name, i, j, k, math.Float32bits(g), math.Float32bits(w))
+					}
+				}
+			}
+		}
+	}
+}

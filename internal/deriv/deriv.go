@@ -7,6 +7,14 @@
 // Derivatives are computed on the uniform computational index and mapped to
 // physical space through the per-line metric dξ/dx provided by the grid, so
 // the same operators serve uniform and algebraically stretched directions.
+//
+// The interior stencil spans — the hot loops — are executed by a
+// kernels.Impl backend (generic or blocked, see internal/kernels); the
+// reduced-order boundary closures, which touch at most four or five points
+// per line end, stay here. Diff and Filter are the whole-field forms; they
+// delegate to DiffRange/FilterRange over the full interior box, which the
+// tiling-invariance guarantee makes bitwise-identical to a dedicated
+// whole-field sweep.
 package deriv
 
 import "github.com/s3dgo/s3d/internal/grid"
@@ -26,11 +34,9 @@ const (
 	OneSided
 )
 
-// Eighth-order centred first-derivative weights for offsets ±1..±4
-// (antisymmetric; the weight of offset -m is -c8[m-1]).
-var c8 = [4]float64{4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0}
-
 // Sixth- and fourth-order centred weights used by the boundary closures.
+// The interior 8th-order and filter weights live in internal/kernels, which
+// owns the interior-span contract.
 var (
 	c6 = [3]float64{3.0 / 4.0, -3.0 / 20.0, 1.0 / 60.0}
 	c4 = [2]float64{2.0 / 3.0, -1.0 / 12.0}
@@ -49,105 +55,8 @@ var (
 //
 // When the axis has a single point (quasi-2D runs) the derivative is zero.
 func Diff(dst, f *grid.Field3, a grid.Axis, met []float64, lo, hi BC) {
-	n := dimOf(f, a)
-	if n == 1 {
-		zeroInterior(dst)
-		return
-	}
-	stride := strideOf(f, a)
-	eachLine(f, a, func(base int) {
-		diffLine(dst.Data, f.Data, base, stride, n, met, lo, hi)
-	})
+	DiffRange(dst, f, a, met, lo, hi, [3]int{}, [3]int{f.Nx, f.Ny, f.Nz}, OpSet)
 }
-
-// diffLine differentiates one grid line starting at flat index base with the
-// given stride.
-func diffLine(dst, src []float64, base, stride, n int, met []float64, lo, hi BC) {
-	// Interior span where the full 8th-order stencil applies.
-	i0, i1 := 0, n
-	if lo == OneSided {
-		i0 = 4
-	}
-	if hi == OneSided {
-		i1 = n - 4
-	}
-	if i1 < i0 {
-		i0, i1 = 0, 0 // tiny line: handled fully by closures below
-	}
-	for i := i0; i < i1; i++ {
-		p := base + i*stride
-		d := c8[0]*(src[p+stride]-src[p-stride]) +
-			c8[1]*(src[p+2*stride]-src[p-2*stride]) +
-			c8[2]*(src[p+3*stride]-src[p-3*stride]) +
-			c8[3]*(src[p+4*stride]-src[p-4*stride])
-		dst[p] = d * met[i]
-	}
-	if lo == OneSided {
-		closeLow(dst, src, base, stride, n, met, i0)
-	}
-	if hi == OneSided {
-		closeHigh(dst, src, base, stride, n, met, i1)
-	}
-}
-
-// closeLow applies the boundary closure for indices [0, upto) at the low end.
-func closeLow(dst, src []float64, base, stride, n int, met []float64, upto int) {
-	for i := 0; i < upto && i < n; i++ {
-		p := base + i*stride
-		var d float64
-		switch {
-		case i == 0:
-			for m, w := range b0 {
-				d += w * src[p+m*stride]
-			}
-		case i == 1:
-			for m, w := range b1 {
-				d += w * src[p+(m-1)*stride]
-			}
-		case i == 2:
-			d = c4[0]*(src[p+stride]-src[p-stride]) + c4[1]*(src[p+2*stride]-src[p-2*stride])
-		default: // i == 3
-			d = c6[0]*(src[p+stride]-src[p-stride]) +
-				c6[1]*(src[p+2*stride]-src[p-2*stride]) +
-				c6[2]*(src[p+3*stride]-src[p-3*stride])
-		}
-		dst[p] = d * met[i]
-	}
-}
-
-// closeHigh mirrors closeLow at the high end, for indices [from, n).
-func closeHigh(dst, src []float64, base, stride, n int, met []float64, from int) {
-	for i := from; i < n; i++ {
-		if i < 0 {
-			continue
-		}
-		r := n - 1 - i // distance from the high boundary
-		p := base + i*stride
-		var d float64
-		switch {
-		case r == 0:
-			for m, w := range b0 {
-				d -= w * src[p-m*stride]
-			}
-		case r == 1:
-			for m, w := range b1 {
-				d -= w * src[p-(m-1)*stride]
-			}
-		case r == 2:
-			d = c4[0]*(src[p+stride]-src[p-stride]) + c4[1]*(src[p+2*stride]-src[p-2*stride])
-		default: // r == 3
-			d = c6[0]*(src[p+stride]-src[p-stride]) +
-				c6[1]*(src[p+2*stride]-src[p-2*stride]) +
-				c6[2]*(src[p+3*stride]-src[p-3*stride])
-		}
-		dst[p] = d * met[i]
-	}
-}
-
-// filter10 holds (−1)^l·C(10,5+l) for offsets l = −5..5; dividing the
-// convolution by 2¹⁰ yields an operator that is exactly the identity at the
-// Nyquist wavenumber and O(Δ¹⁰) on smooth fields.
-var filter10 = [11]float64{-1, 10, -45, 120, -210, 252, -210, 120, -45, 10, -1}
 
 // Filter applies the tenth-order low-pass filter along axis a:
 //
@@ -158,71 +67,7 @@ var filter10 = [11]float64{-1, 10, -45, 120, -210, 252, -210, 120, -45, 10, -1}
 // boundary (order 2d at distance d, unfiltered at the boundary point), the
 // standard treatment for explicit filters at non-periodic boundaries.
 func Filter(dst, f *grid.Field3, a grid.Axis, sigma float64, lo, hi BC) {
-	n := dimOf(f, a)
-	if n == 1 {
-		copyInterior(dst, f)
-		return
-	}
-	stride := strideOf(f, a)
-	eachLine(f, a, func(base int) {
-		filterLine(dst.Data, f.Data, base, stride, n, sigma, lo, hi)
-	})
-}
-
-func filterLine(dst, src []float64, base, stride, n int, sigma float64, lo, hi BC) {
-	i0, i1 := 0, n
-	if lo == OneSided {
-		i0 = 5
-	}
-	if hi == OneSided {
-		i1 = n - 5
-	}
-	if i1 < i0 {
-		i0, i1 = 0, 0
-	}
-	scale := sigma / 1024.0
-	for i := i0; i < i1; i++ {
-		p := base + i*stride
-		var acc float64
-		for l := -5; l <= 5; l++ {
-			acc += filter10[l+5] * src[p+l*stride]
-		}
-		dst[p] = src[p] - scale*acc
-	}
-	if lo == OneSided {
-		for i := 0; i < i0 && i < n; i++ {
-			filterBoundaryPoint(dst, src, base, stride, i, i, sigma)
-		}
-	}
-	if hi == OneSided {
-		for i := i1; i < n; i++ {
-			if i < 0 {
-				continue
-			}
-			filterBoundaryPoint(dst, src, base, stride, i, n-1-i, sigma)
-		}
-	}
-}
-
-// filterBoundaryPoint applies the order-2d symmetric filter at a point d
-// away from the boundary (identity when d == 0).
-func filterBoundaryPoint(dst, src []float64, base, stride, i, d int, sigma float64) {
-	p := base + i*stride
-	if d == 0 {
-		dst[p] = src[p]
-		return
-	}
-	// Weights (−1)^l·C(2d, d+l): an order-2d analogue of the interior filter.
-	scale := sigma / float64(int(1)<<uint(2*d))
-	var acc float64
-	for l := -d; l <= d; l++ {
-		w := binom(2*d, d+l)
-		if ((l%2)+2)%2 == 1 {
-			w = -w
-		}
-		acc += w * src[p+l*stride]
-	}
-	dst[p] = src[p] - scale*acc
+	FilterRange(dst, f, a, sigma, lo, hi, [3]int{}, [3]int{f.Nx, f.Ny, f.Nz}, OpSet)
 }
 
 func binom(n, k int) float64 {
@@ -258,51 +103,5 @@ func strideOf(f *grid.Field3, a grid.Axis) int {
 		return dj
 	default:
 		return dk
-	}
-}
-
-// eachLine invokes fn once per grid line along axis a, passing the flat
-// index of the line's first interior point.
-func eachLine(f *grid.Field3, a grid.Axis, fn func(base int)) {
-	switch a {
-	case grid.X:
-		for k := 0; k < f.Nz; k++ {
-			for j := 0; j < f.Ny; j++ {
-				fn(f.Idx(0, j, k))
-			}
-		}
-	case grid.Y:
-		for k := 0; k < f.Nz; k++ {
-			for i := 0; i < f.Nx; i++ {
-				fn(f.Idx(i, 0, k))
-			}
-		}
-	default:
-		for j := 0; j < f.Ny; j++ {
-			for i := 0; i < f.Nx; i++ {
-				fn(f.Idx(i, j, 0))
-			}
-		}
-	}
-}
-
-func zeroInterior(dst *grid.Field3) {
-	for k := 0; k < dst.Nz; k++ {
-		for j := 0; j < dst.Ny; j++ {
-			row := dst.Idx(0, j, k)
-			for i := 0; i < dst.Nx; i++ {
-				dst.Data[row+i] = 0
-			}
-		}
-	}
-}
-
-func copyInterior(dst, src *grid.Field3) {
-	for k := 0; k < src.Nz; k++ {
-		for j := 0; j < src.Ny; j++ {
-			rs := src.Idx(0, j, k)
-			rd := dst.Idx(0, j, k)
-			copy(dst.Data[rd:rd+src.Nx], src.Data[rs:rs+src.Nx])
-		}
 	}
 }

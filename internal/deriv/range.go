@@ -1,6 +1,9 @@
 package deriv
 
-import "github.com/s3dgo/s3d/internal/grid"
+import (
+	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/kernels"
+)
 
 // Op selects how a ranged operator writes its result into dst.
 type Op int
@@ -19,7 +22,19 @@ const (
 //
 // With op == OpAdd the derivative is accumulated into dst instead of stored,
 // fusing the AXPY that a divergence would otherwise need into the sweep.
+//
+// DiffRange runs on the generic backend; DiffRangeOn selects one explicitly.
 func DiffRange(dst, f *grid.Field3, a grid.Axis, met []float64, lo, hi BC, boxLo, boxHi [3]int, op Op) {
+	DiffRangeOn(kernels.Generic(), dst, f, a, met, lo, hi, boxLo, boxHi, op)
+}
+
+// DiffRangeOn is DiffRange with the interior-span stencil executed by an
+// explicit kernel backend. The backend only changes addressing, never
+// arithmetic, so every backend yields bitwise-identical results; the choice
+// is a performance policy. dst may have float32 storage (a demoted gradient
+// under the mixed precision policy): the stencil is still evaluated in
+// float64 and rounded once on store.
+func DiffRangeOn(im kernels.Impl, dst, f *grid.Field3, a grid.Axis, met []float64, lo, hi BC, boxLo, boxHi [3]int, op Op) {
 	n := dimOf(f, a)
 	ax := int(a)
 	s0, s1 := boxLo[ax], boxHi[ax]
@@ -28,13 +43,16 @@ func DiffRange(dst, f *grid.Field3, a grid.Axis, met []float64, lo, hi BC, boxLo
 		return
 	}
 	stride := strideOf(f, a)
+	src := f.Data
 	eachLineRange(f, a, boxLo, boxHi, func(base int) {
-		diffLineRange(dst.Data, f.Data, base, stride, n, met, lo, hi, s0, s1, op)
+		diffLineRangeOn(im, dst, src, base, stride, n, met, lo, hi, s0, s1, op)
 	})
 }
 
-// diffLineRange is diffLine clamped to the span [s0, s1) along the line.
-func diffLineRange(dst, src []float64, base, stride, n int, met []float64, lo, hi BC, s0, s1 int, op Op) {
+// diffLineRangeOn differentiates the span [s0, s1) of one grid line: the
+// full-stencil interior through the backend, the reduced-order ends through
+// the closures below.
+func diffLineRangeOn(im kernels.Impl, dst *grid.Field3, src []float64, base, stride, n int, met []float64, lo, hi BC, s0, s1 int, op Op) {
 	i0, i1 := 0, n
 	if lo == OneSided {
 		i0 = 4
@@ -43,28 +61,36 @@ func diffLineRange(dst, src []float64, base, stride, n int, met []float64, lo, h
 		i1 = n - 4
 	}
 	if i1 < i0 {
-		i0, i1 = 0, 0
+		i0, i1 = 0, 0 // tiny line: handled fully by closures below
 	}
 	c0, c1 := max(i0, s0), min(i1, s1)
-	for i := c0; i < c1; i++ {
-		p := base + i*stride
-		d := c8[0]*(src[p+stride]-src[p-stride]) +
-			c8[1]*(src[p+2*stride]-src[p-2*stride]) +
-			c8[2]*(src[p+3*stride]-src[p-3*stride]) +
-			c8[3]*(src[p+4*stride]-src[p-4*stride])
-		store(dst, p, d*met[i], op)
+	if c1 > c0 {
+		if dst.Data32 != nil {
+			im.DiffInterior32(dst.Data32, src, base, stride, c0, c1, met, op == OpAdd)
+		} else {
+			im.DiffInterior(dst.Data, src, base, stride, c0, c1, met, op == OpAdd)
+		}
 	}
 	if lo == OneSided {
-		closeLowRange(dst, src, base, stride, n, met, min(i0, s1), s0, op)
+		if dst.Data32 != nil {
+			closeLowRange(dst.Data32, src, base, stride, n, met, min(i0, s1), s0, op)
+		} else {
+			closeLowRange(dst.Data, src, base, stride, n, met, min(i0, s1), s0, op)
+		}
 	}
 	if hi == OneSided {
-		closeHighRange(dst, src, base, stride, n, met, max(i1, s0), s1, op)
+		if dst.Data32 != nil {
+			closeHighRange(dst.Data32, src, base, stride, n, met, max(i1, s0), s1, op)
+		} else {
+			closeHighRange(dst.Data, src, base, stride, n, met, max(i1, s0), s1, op)
+		}
 	}
 }
 
-// closeLowRange is closeLow over [from, upto) — the low-boundary closure
-// points clamped into the span.
-func closeLowRange(dst, src []float64, base, stride, n int, met []float64, upto, from int, op Op) {
+// closeLowRange applies the low-boundary closure over [from, upto) — the
+// closure points clamped into the span. The stencil is evaluated in float64
+// for either destination width.
+func closeLowRange[F grid.Float](dst []F, src []float64, base, stride, n int, met []float64, upto, from int, op Op) {
 	for i := max(from, 0); i < upto && i < n; i++ {
 		p := base + i*stride
 		var d float64
@@ -88,10 +114,10 @@ func closeLowRange(dst, src []float64, base, stride, n int, met []float64, upto,
 	}
 }
 
-// closeHighRange is closeHigh over [from, upto) at the high end.
-func closeHighRange(dst, src []float64, base, stride, n int, met []float64, from, upto int, op Op) {
+// closeHighRange mirrors closeLowRange at the high end, for [from, upto).
+func closeHighRange[F grid.Float](dst []F, src []float64, base, stride, n int, met []float64, from, upto int, op Op) {
 	for i := max(from, 0); i < n && i < upto; i++ {
-		r := n - 1 - i
+		r := n - 1 - i // distance from the high boundary
 		p := base + i*stride
 		var d float64
 		switch {
@@ -117,7 +143,14 @@ func closeHighRange(dst, src []float64, base, stride, n int, met []float64, from
 // FilterRange is Filter restricted to the interior index box [boxLo, boxHi),
 // with the same tiling-invariance guarantee as DiffRange. Only OpSet makes
 // physical sense for a filter, but the op parameter is kept for symmetry.
+// The filter round-trips conserved state, so dst must be float64 storage.
 func FilterRange(dst, f *grid.Field3, a grid.Axis, sigma float64, lo, hi BC, boxLo, boxHi [3]int, op Op) {
+	FilterRangeOn(kernels.Generic(), dst, f, a, sigma, lo, hi, boxLo, boxHi, op)
+}
+
+// FilterRangeOn is FilterRange with the interior span executed by an
+// explicit kernel backend (same bitwise guarantee as DiffRangeOn).
+func FilterRangeOn(im kernels.Impl, dst, f *grid.Field3, a grid.Axis, sigma float64, lo, hi BC, boxLo, boxHi [3]int, op Op) {
 	n := dimOf(f, a)
 	ax := int(a)
 	s0, s1 := boxLo[ax], boxHi[ax]
@@ -126,12 +159,13 @@ func FilterRange(dst, f *grid.Field3, a grid.Axis, sigma float64, lo, hi BC, box
 		return
 	}
 	stride := strideOf(f, a)
+	dd, src := dst.Data, f.Data
 	eachLineRange(f, a, boxLo, boxHi, func(base int) {
-		filterLineRange(dst.Data, f.Data, base, stride, n, sigma, lo, hi, s0, s1, op)
+		filterLineRangeOn(im, dd, src, base, stride, n, sigma, lo, hi, s0, s1, op)
 	})
 }
 
-func filterLineRange(dst, src []float64, base, stride, n int, sigma float64, lo, hi BC, s0, s1 int, op Op) {
+func filterLineRangeOn(im kernels.Impl, dst, src []float64, base, stride, n int, sigma float64, lo, hi BC, s0, s1 int, op Op) {
 	i0, i1 := 0, n
 	if lo == OneSided {
 		i0 = 5
@@ -142,14 +176,9 @@ func filterLineRange(dst, src []float64, base, stride, n int, sigma float64, lo,
 	if i1 < i0 {
 		i0, i1 = 0, 0
 	}
-	scale := sigma / 1024.0
-	for i := max(i0, s0); i < i1 && i < s1; i++ {
-		p := base + i*stride
-		var acc float64
-		for l := -5; l <= 5; l++ {
-			acc += filter10[l+5] * src[p+l*stride]
-		}
-		store(dst, p, src[p]-scale*acc, op)
+	c0, c1 := max(i0, s0), min(i1, s1)
+	if c1 > c0 {
+		im.FilterInterior(dst, src, base, stride, c0, c1, sigma/1024.0, op == OpAdd)
 	}
 	if lo == OneSided {
 		for i := max(0, s0); i < i0 && i < n && i < s1; i++ {
@@ -166,12 +195,15 @@ func filterLineRange(dst, src []float64, base, stride, n int, sigma float64, lo,
 	}
 }
 
+// filterBoundaryPointOp applies the order-2d symmetric filter at a point d
+// away from the boundary (identity when d == 0).
 func filterBoundaryPointOp(dst, src []float64, base, stride, i, d int, sigma float64, op Op) {
 	p := base + i*stride
 	if d == 0 {
 		store(dst, p, src[p], op)
 		return
 	}
+	// Weights (−1)^l·C(2d, d+l): an order-2d analogue of the interior filter.
 	scale := sigma / float64(int(1)<<uint(2*d))
 	var acc float64
 	for l := -d; l <= d; l++ {
@@ -184,12 +216,14 @@ func filterBoundaryPointOp(dst, src []float64, base, stride, i, d int, sigma flo
 	store(dst, p, src[p]-scale*acc, op)
 }
 
-// store writes v into dst[p] under op.
-func store(dst []float64, p int, v float64, op Op) {
+// store writes v into dst[p] under op, widening any existing narrow value
+// for the accumulation and rounding once on store. For float64 destinations
+// the conversions are identities and the code is the original dst[p] += v.
+func store[F grid.Float](dst []F, p int, v float64, op Op) {
 	if op == OpAdd {
-		dst[p] += v
+		dst[p] = F(float64(dst[p]) + v)
 	} else {
-		dst[p] = v
+		dst[p] = F(v)
 	}
 }
 
@@ -203,8 +237,14 @@ func rangeFill(dst *grid.Field3, boxLo, boxHi [3]int, op Op) {
 	for k := boxLo[2]; k < boxHi[2]; k++ {
 		for j := boxLo[1]; j < boxHi[1]; j++ {
 			row := dst.Idx(boxLo[0], j, k)
-			for i := 0; i < n; i++ {
-				dst.Data[row+i] = 0
+			if dst.Data32 != nil {
+				for i := 0; i < n; i++ {
+					dst.Data32[row+i] = 0
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					dst.Data[row+i] = 0
+				}
 			}
 		}
 	}

@@ -1,0 +1,189 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func expectPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestFieldSetMixedPolicyWidths pins the role→storage resolution of the
+// mixed policy and the per-width arena carving: demoted fields get float32
+// backing, everything else keeps float64, and explicit Storage requests
+// override the policy in both directions.
+func TestFieldSetMixedPolicyWidths(t *testing.T) {
+	s := NewFieldSetPolicy(4, 3, 2, 1, PolicyMixed)
+	q := s.Register(FieldMeta{Name: "q", Role: RoleConserved, Species: -1})
+	g := s.Register(FieldMeta{Name: "g", Role: RoleGradient, Species: -1})
+	mu := s.Register(FieldMeta{Name: "mu", Role: RoleTransport, Species: -1})
+	p := s.Register(FieldMeta{Name: "p", Role: RolePrimitive, Species: -1})
+	// Explicit overrides beat the policy.
+	wideG := s.Register(FieldMeta{Name: "wide_g", Role: RoleGradient, Species: -1, Storage: StorageFloat64})
+	s.Build()
+
+	for _, tc := range []struct {
+		id   int
+		want Storage
+	}{
+		{q, StorageFloat64}, {g, StorageFloat32}, {mu, StorageFloat32},
+		{p, StorageFloat64}, {wideG, StorageFloat64},
+	} {
+		if got := s.Storage(tc.id); got != tc.want {
+			t.Fatalf("Storage(%s) = %v, want %v", s.Meta(tc.id).Name, got, tc.want)
+		}
+		f := s.Field(tc.id)
+		if (tc.want == StorageFloat32) != (f.Data32 != nil) || (tc.want == StorageFloat64) != (f.Data != nil) {
+			t.Fatalf("%s: backing slices inconsistent with storage %v", s.Meta(tc.id).Name, tc.want)
+		}
+		if f.Storage() != tc.want {
+			t.Fatalf("%s: Field3.Storage() = %v, want %v", s.Meta(tc.id).Name, f.Storage(), tc.want)
+		}
+	}
+
+	// At/Set/Add round-trip through narrow storage with round-once stores.
+	gf := s.Field(g)
+	gf.Set(1, 1, 1, 1.0/3.0)
+	if want := float64(float32(1.0 / 3.0)); gf.At(1, 1, 1) != want {
+		t.Fatalf("narrow Set/At = %v, want %v", gf.At(1, 1, 1), want)
+	}
+	gf.Add(1, 1, 1, 1.0/7.0)
+	want := float64(float32(float64(float32(1.0/3.0)) + 1.0/7.0))
+	if gf.At(1, 1, 1) != want {
+		t.Fatalf("narrow Add = %v, want widen-accumulate-round-once %v", gf.At(1, 1, 1), want)
+	}
+}
+
+// TestFieldSetMixedSpanContiguity: consecutive same-width registrations form
+// a bank reachable through Span even under mixed policy, and a Span that
+// would cross a float32 field panics instead of silently mis-addressing.
+func TestFieldSetMixedSpanContiguity(t *testing.T) {
+	s := NewFieldSetPolicy(4, 3, 2, 1, PolicyMixed)
+	a := s.Register(FieldMeta{Name: "a", Role: RoleConserved, Species: -1})
+	b := s.Register(FieldMeta{Name: "b", Role: RoleConserved, Species: -1})
+	s.Register(FieldMeta{Name: "g", Role: RoleGradient, Species: -1}) // float32, id 2
+	c := s.Register(FieldMeta{Name: "c", Role: RolePrimitive, Species: -1})
+	s.Build()
+
+	per := s.FieldLen()
+	span := s.Span(a, 2)
+	if len(span) != 2*per {
+		t.Fatalf("Span length = %d, want %d", len(span), 2*per)
+	}
+	fb := s.Field(b)
+	fb.Set(0, 0, 0, 7)
+	if span[per+fb.Idx(0, 0, 0)] != 7 {
+		t.Fatal("f64 bank aliasing broken under mixed policy")
+	}
+	// c sits in the float64 arena directly after b (the float32 field lives
+	// in its own arena), so a width-homogeneous prefix keeps its bank even
+	// with a narrow field registered in between — but Span over the id range
+	// that includes the narrow field must refuse.
+	expectPanic(t, "span crossing float32 field", func() { s.Span(b, 3) })
+	if got := s.Span(c, 1); len(got) != per {
+		t.Fatalf("Span(c,1) length = %d, want %d", len(got), per)
+	}
+	if got := s.Span(a, 0); got != nil {
+		t.Fatal("empty span must be nil")
+	}
+}
+
+// TestFieldSetMixedCheckpointOrdering: checkpoint and halo-group order is
+// registration order, unaffected by a mixed-width field registered in the
+// middle — switching precision policy must never reorder a checkpoint or a
+// halo message.
+func TestFieldSetMixedCheckpointOrdering(t *testing.T) {
+	s := NewFieldSetPolicy(4, 3, 2, 1, PolicyMixed)
+	s.Register(FieldMeta{Name: "a", Role: RoleConserved, Species: -1, Ckpt: "A", Group: "h"})
+	s.Register(FieldMeta{Name: "g", Role: RoleGradient, Species: -1, Ckpt: "G", Group: "h"})
+	s.Register(FieldMeta{Name: "b", Role: RolePrimitive, Species: -1, Ckpt: "B", Group: "h"})
+	s.Build()
+
+	ck := s.Checkpointed()
+	if len(ck) != 3 || ck[0] != 0 || ck[1] != 1 || ck[2] != 2 {
+		t.Fatalf("Checkpointed = %v, want [0 1 2] (registration order, width-independent)", ck)
+	}
+	grp := s.Group("h")
+	if len(grp) != 3 || grp[0] != s.Field(0) || grp[1] != s.Field(1) || grp[2] != s.Field(2) {
+		t.Fatal("halo group order must be registration order regardless of width")
+	}
+	// The same registrations under strict policy yield the same orders.
+	s2 := NewFieldSetPolicy(4, 3, 2, 1, PolicyStrict)
+	s2.Register(FieldMeta{Name: "a", Role: RoleConserved, Species: -1, Ckpt: "A", Group: "h"})
+	s2.Register(FieldMeta{Name: "g", Role: RoleGradient, Species: -1, Ckpt: "G", Group: "h"})
+	s2.Register(FieldMeta{Name: "b", Role: RolePrimitive, Species: -1, Ckpt: "B", Group: "h"})
+	s2.Build()
+	ck2 := s2.Checkpointed()
+	for i := range ck {
+		if ck[i] != ck2[i] {
+			t.Fatalf("checkpoint order differs across policies: %v vs %v", ck, ck2)
+		}
+	}
+}
+
+// TestFieldSetZeroHaloGroup: the empty group name is never a halo group —
+// ungrouped fields must not leak into Group("") — and an unknown group is
+// empty rather than an error.
+func TestFieldSetZeroHaloGroup(t *testing.T) {
+	s := NewFieldSet(4, 3, 2, 1)
+	s.Register(FieldMeta{Name: "u", Role: RolePrimitive, Species: -1}) // no group
+	s.Register(FieldMeta{Name: "q", Role: RoleConserved, Species: -1, Group: "conserved"})
+	s.Build()
+	if g := s.Group(""); len(g) != 0 {
+		t.Fatalf("Group(\"\") = %d fields, want 0 (ungrouped fields are not a group)", len(g))
+	}
+	if g := s.Group("nope"); len(g) != 0 {
+		t.Fatalf("unknown group = %d fields, want 0", len(g))
+	}
+	if g := s.Group("conserved"); len(g) != 1 {
+		t.Fatalf("conserved group = %d fields, want 1", len(g))
+	}
+}
+
+// TestFieldSetDuplicateNameAcrossWidths: name uniqueness is width-blind.
+func TestFieldSetDuplicateNameAcrossWidths(t *testing.T) {
+	s := NewFieldSetPolicy(4, 3, 2, 1, PolicyMixed)
+	s.Register(FieldMeta{Name: "x", Role: RoleConserved, Species: -1})
+	expectPanic(t, "duplicate name with different width", func() {
+		s.Register(FieldMeta{Name: "x", Role: RoleGradient, Species: -1})
+	})
+}
+
+// TestNarrowRowAccess: Row refuses narrow storage (a silent widening copy
+// would break its aliasing contract); RowInto widens through the caller's
+// buffer and SetRow rounds once per value on store.
+func TestNarrowRowAccess(t *testing.T) {
+	s := NewFieldSetPolicy(5, 3, 2, 1, PolicyMixed)
+	id := s.Register(FieldMeta{Name: "g", Role: RoleGradient, Species: -1})
+	s.Build()
+	f := s.Field(id)
+
+	expectPanic(t, "Row on float32 storage", func() { f.Row(1, 1) })
+
+	src := []float64{1.0 / 3.0, 2, 3, 4, 5}
+	f.SetRow(1, 1, src)
+	buf := make([]float64, 5)
+	got := f.RowInto(buf, 1, 1)
+	for i, v := range src {
+		if want := float64(float32(v)); got[i] != want {
+			t.Fatalf("row[%d] = %v, want %v (round once on store, widen on load)", i, got[i], want)
+		}
+	}
+	// Float64 fields hand out live arena views from RowInto (no copy).
+	s2 := NewFieldSet(5, 3, 2, 1)
+	wid := s2.Register(FieldMeta{Name: "w", Role: RolePrimitive, Species: -1})
+	s2.Build()
+	w := s2.Field(wid)
+	row := w.RowInto(nil, 0, 0)
+	row[2] = math.Pi
+	if w.At(2, 0, 0) != math.Pi {
+		t.Fatal("RowInto on float64 storage must alias the arena")
+	}
+}

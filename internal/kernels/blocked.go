@@ -1,0 +1,206 @@
+package kernels
+
+// blockedImpl is the hand-tiled backend: bounds checks are hoisted by
+// re-slicing every operand to a proven common length, unit-stride stencils
+// read through pre-shifted slice windows, and the bank update is unrolled
+// four-wide. Only the addressing changes — each output value is produced by
+// exactly the expression genericImpl uses, in the same association order,
+// so results are bitwise identical (the property the backend-parity gate
+// and the "auto" mode both rely on).
+type blockedImpl struct{}
+
+func (blockedImpl) Name() string { return "blocked" }
+
+func (blockedImpl) RKUpdateBank(q, dq, r []float64, a, b, dt float64) {
+	n := len(dq)
+	if len(q) < n || len(r) < n {
+		panic("kernels: RKUpdateBank register length mismatch")
+	}
+	// Re-slice to the common length: every index below is provably in
+	// bounds, so the three streams run check-free and unrolled.
+	q, r = q[:n], r[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a*dq[i] + dt*r[i]
+		d1 := a*dq[i+1] + dt*r[i+1]
+		d2 := a*dq[i+2] + dt*r[i+2]
+		d3 := a*dq[i+3] + dt*r[i+3]
+		dq[i], dq[i+1], dq[i+2], dq[i+3] = d0, d1, d2, d3
+		q[i] += b * d0
+		q[i+1] += b * d1
+		q[i+2] += b * d2
+		q[i+3] += b * d3
+	}
+	for ; i < n; i++ {
+		d := a*dq[i] + dt*r[i]
+		dq[i] = d
+		q[i] += b * d
+	}
+}
+
+func (blockedImpl) ZeroBank(dst []float64) {
+	clear(dst) // the runtime memclr: the fastest zeroing Go can emit
+}
+
+func (blockedImpl) DiffInterior(dst, src []float64, base, stride, c0, c1 int, met []float64, add bool) {
+	n := c1 - c0
+	if n <= 0 {
+		return
+	}
+	if stride != 1 {
+		diffStrided(dst, src, base, stride, c0, c1, met, add)
+		return
+	}
+	o := base + c0
+	// Pre-shifted unit-stride windows: one bounds check per window at slice
+	// time, none in the loop.
+	d := dst[o : o+n]
+	sm4, sm3, sm2, sm1 := src[o-4:o-4+n], src[o-3:o-3+n], src[o-2:o-2+n], src[o-1:o-1+n]
+	sp1, sp2, sp3, sp4 := src[o+1:o+1+n], src[o+2:o+2+n], src[o+3:o+3+n], src[o+4:o+4+n]
+	mw := met[c0 : c0+n]
+	if add {
+		for x := range d {
+			v := c8[0]*(sp1[x]-sm1[x]) +
+				c8[1]*(sp2[x]-sm2[x]) +
+				c8[2]*(sp3[x]-sm3[x]) +
+				c8[3]*(sp4[x]-sm4[x])
+			d[x] += v * mw[x]
+		}
+	} else {
+		for x := range d {
+			v := c8[0]*(sp1[x]-sm1[x]) +
+				c8[1]*(sp2[x]-sm2[x]) +
+				c8[2]*(sp3[x]-sm3[x]) +
+				c8[3]*(sp4[x]-sm4[x])
+			d[x] = v * mw[x]
+		}
+	}
+}
+
+// diffStrided is the non-unit-stride fall-back: same expression, with the
+// flat index carried incrementally instead of recomputed per point.
+func diffStrided(dst, src []float64, base, stride, c0, c1 int, met []float64, add bool) {
+	p := base + c0*stride
+	s1, s2, s3, s4 := stride, 2*stride, 3*stride, 4*stride
+	for i := c0; i < c1; i++ {
+		v := c8[0]*(src[p+s1]-src[p-s1]) +
+			c8[1]*(src[p+s2]-src[p-s2]) +
+			c8[2]*(src[p+s3]-src[p-s3]) +
+			c8[3]*(src[p+s4]-src[p-s4])
+		if add {
+			dst[p] += v * met[i]
+		} else {
+			dst[p] = v * met[i]
+		}
+		p += stride
+	}
+}
+
+func (blockedImpl) DiffInterior32(dst []float32, src []float64, base, stride, c0, c1 int, met []float64, add bool) {
+	n := c1 - c0
+	if n <= 0 {
+		return
+	}
+	if stride != 1 {
+		p := base + c0*stride
+		s1, s2, s3, s4 := stride, 2*stride, 3*stride, 4*stride
+		for i := c0; i < c1; i++ {
+			v := c8[0]*(src[p+s1]-src[p-s1]) +
+				c8[1]*(src[p+s2]-src[p-s2]) +
+				c8[2]*(src[p+s3]-src[p-s3]) +
+				c8[3]*(src[p+s4]-src[p-s4])
+			storeNarrow(dst, p, v*met[i], add)
+			p += stride
+		}
+		return
+	}
+	o := base + c0
+	d := dst[o : o+n]
+	sm4, sm3, sm2, sm1 := src[o-4:o-4+n], src[o-3:o-3+n], src[o-2:o-2+n], src[o-1:o-1+n]
+	sp1, sp2, sp3, sp4 := src[o+1:o+1+n], src[o+2:o+2+n], src[o+3:o+3+n], src[o+4:o+4+n]
+	mw := met[c0 : c0+n]
+	if add {
+		for x := range d {
+			v := c8[0]*(sp1[x]-sm1[x]) +
+				c8[1]*(sp2[x]-sm2[x]) +
+				c8[2]*(sp3[x]-sm3[x]) +
+				c8[3]*(sp4[x]-sm4[x])
+			d[x] = float32(float64(d[x]) + v*mw[x])
+		}
+	} else {
+		for x := range d {
+			v := c8[0]*(sp1[x]-sm1[x]) +
+				c8[1]*(sp2[x]-sm2[x]) +
+				c8[2]*(sp3[x]-sm3[x]) +
+				c8[3]*(sp4[x]-sm4[x])
+			d[x] = float32(v * mw[x])
+		}
+	}
+}
+
+func (blockedImpl) FilterInterior(dst, src []float64, base, stride, c0, c1 int, scale float64, add bool) {
+	n := c1 - c0
+	if n <= 0 {
+		return
+	}
+	if stride != 1 {
+		p := base + c0*stride
+		for i := c0; i < c1; i++ {
+			var acc float64
+			for l := -5; l <= 5; l++ {
+				acc += filter10[l+5] * src[p+l*stride]
+			}
+			if add {
+				dst[p] += src[p] - scale*acc
+			} else {
+				dst[p] = src[p] - scale*acc
+			}
+			p += stride
+		}
+		return
+	}
+	o := base + c0
+	d := dst[o : o+n]
+	s0 := src[o : o+n]
+	sm5, sm4, sm3 := src[o-5:o-5+n], src[o-4:o-4+n], src[o-3:o-3+n]
+	sm2, sm1 := src[o-2:o-2+n], src[o-1:o-1+n]
+	sp1, sp2, sp3 := src[o+1:o+1+n], src[o+2:o+2+n], src[o+3:o+3+n]
+	sp4, sp5 := src[o+4:o+4+n], src[o+5:o+5+n]
+	// The accumulation below mirrors the generic l = −5..5 loop: acc starts
+	// at zero (preserving signed-zero semantics) and folds the terms in
+	// ascending-offset order, so the association order — and therefore every
+	// rounded bit — is unchanged.
+	if add {
+		for x := range d {
+			acc := 0.0
+			acc += filter10[0] * sm5[x]
+			acc += filter10[1] * sm4[x]
+			acc += filter10[2] * sm3[x]
+			acc += filter10[3] * sm2[x]
+			acc += filter10[4] * sm1[x]
+			acc += filter10[5] * s0[x]
+			acc += filter10[6] * sp1[x]
+			acc += filter10[7] * sp2[x]
+			acc += filter10[8] * sp3[x]
+			acc += filter10[9] * sp4[x]
+			acc += filter10[10] * sp5[x]
+			d[x] += s0[x] - scale*acc
+		}
+	} else {
+		for x := range d {
+			acc := 0.0
+			acc += filter10[0] * sm5[x]
+			acc += filter10[1] * sm4[x]
+			acc += filter10[2] * sm3[x]
+			acc += filter10[3] * sm2[x]
+			acc += filter10[4] * sm1[x]
+			acc += filter10[5] * s0[x]
+			acc += filter10[6] * sp1[x]
+			acc += filter10[7] * sp2[x]
+			acc += filter10[8] * sp3[x]
+			acc += filter10[9] * sp4[x]
+			acc += filter10[10] * sp5[x]
+			d[x] = s0[x] - scale*acc
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package kernels
+
+// genericImpl is the reference backend: the solver's original loop bodies,
+// verbatim. It defines the bitwise contract every other backend must match.
+type genericImpl struct{}
+
+func (genericImpl) Name() string { return "generic" }
+
+func (genericImpl) RKUpdateBank(q, dq, r []float64, a, b, dt float64) {
+	for i := range dq {
+		dq[i] = a*dq[i] + dt*r[i]
+		q[i] += b * dq[i]
+	}
+}
+
+func (genericImpl) ZeroBank(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+func (genericImpl) DiffInterior(dst, src []float64, base, stride, c0, c1 int, met []float64, add bool) {
+	for i := c0; i < c1; i++ {
+		p := base + i*stride
+		d := c8[0]*(src[p+stride]-src[p-stride]) +
+			c8[1]*(src[p+2*stride]-src[p-2*stride]) +
+			c8[2]*(src[p+3*stride]-src[p-3*stride]) +
+			c8[3]*(src[p+4*stride]-src[p-4*stride])
+		if add {
+			dst[p] += d * met[i]
+		} else {
+			dst[p] = d * met[i]
+		}
+	}
+}
+
+func (genericImpl) DiffInterior32(dst []float32, src []float64, base, stride, c0, c1 int, met []float64, add bool) {
+	for i := c0; i < c1; i++ {
+		p := base + i*stride
+		d := c8[0]*(src[p+stride]-src[p-stride]) +
+			c8[1]*(src[p+2*stride]-src[p-2*stride]) +
+			c8[2]*(src[p+3*stride]-src[p-3*stride]) +
+			c8[3]*(src[p+4*stride]-src[p-4*stride])
+		storeNarrow(dst, p, d*met[i], add)
+	}
+}
+
+func (genericImpl) FilterInterior(dst, src []float64, base, stride, c0, c1 int, scale float64, add bool) {
+	for i := c0; i < c1; i++ {
+		p := base + i*stride
+		var acc float64
+		for l := -5; l <= 5; l++ {
+			acc += filter10[l+5] * src[p+l*stride]
+		}
+		if add {
+			dst[p] += src[p] - scale*acc
+		} else {
+			dst[p] = src[p] - scale*acc
+		}
+	}
+}
+
+// storeNarrow writes a float64 result into float32 storage: computed and
+// (under add) accumulated at full width, rounded exactly once on store.
+func storeNarrow(dst []float32, p int, v float64, add bool) {
+	if add {
+		dst[p] = float32(float64(dst[p]) + v)
+	} else {
+		dst[p] = float32(v)
+	}
+}

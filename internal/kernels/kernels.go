@@ -1,0 +1,167 @@
+// Package kernels is the backend layer for the solver's figure-2 hot
+// kernels. Each hot loop — the RK46NL 2N register update, the dQ register
+// reset, the interior spans of the 8th-order derivative and 10th-order
+// filter stencils, the flux divergence accumulation, the fused flux
+// assembly and the primitives recovery — is dispatched through a named
+// Impl selected at runtime, so implementation strategy becomes a measurable
+// policy rather than a hard-coded choice (the ComputeBackend split of XLB).
+//
+// Two implementations register themselves at init:
+//
+//   - "generic": the reference code, exactly the arithmetic the solver has
+//     always used, in the form the compiler sees it today;
+//   - "blocked": hand-tiled variants with bounds checks hoisted by slice
+//     re-slicing and the inner loops unrolled for auto-vectorisation.
+//
+// Contract: every Impl must produce BITWISE-IDENTICAL results for identical
+// inputs. Blocked variants may change addressing (re-slicing, hoisting,
+// unrolling) but never the per-output floating-point expression or its
+// association order. The solver's backend-parity gate (check.sh) enforces
+// this by demanding equal solution hashes between backends, which is what
+// lets the "auto" mode pick winners per kernel without perturbing the
+// bitwise worker-count determinism contract.
+//
+// The fused flux-assembly and primitives-recovery kernels need chemistry
+// and thermodynamics state and therefore live in the solver; for those two
+// the Selection acts as a tag (Blocked reports which tile body to run)
+// while the slice-level operations below are implemented here.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kernel enumerates the backend-selectable hot kernels.
+type Kernel int
+
+const (
+	// RKUpdate is the RK46NL 2N register update: dq = a·dq + dt·r; q += b·dq.
+	RKUpdate Kernel = iota
+	// Reset is the start-of-step dQ bank zeroing.
+	Reset
+	// Diff is the interior span of the 8th-order first-derivative stencil.
+	Diff
+	// Filter is the interior span of the 10th-order low-pass filter.
+	Filter
+	// FluxAssembly is the fused convective+viscous+diffusive flux kernel
+	// (tile body implemented in the solver; selected here).
+	FluxAssembly
+	// Divergence is the flux-divergence accumulation (derivative spans with
+	// OpAdd fused in).
+	Divergence
+	// Primitives is the conserved→primitive recovery sweep (tile body
+	// implemented in the solver; selected here).
+	Primitives
+
+	numKernels
+)
+
+// NumKernels is the number of selectable kernels.
+const NumKernels = int(numKernels)
+
+var kernelNames = [numKernels]string{
+	"rk_update", "reset", "diff", "filter", "flux_assembly", "divergence", "primitives",
+}
+
+// String returns the kernel's stable flag-spec name.
+func (k Kernel) String() string {
+	if k >= 0 && k < numKernels {
+		return kernelNames[k]
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// KernelByName resolves a flag-spec kernel name.
+func KernelByName(name string) (Kernel, bool) {
+	for k, n := range kernelNames {
+		if n == name {
+			return Kernel(k), true
+		}
+	}
+	return 0, false
+}
+
+// Impl is one backend implementation of the slice-level hot operations.
+// All methods must be safe for concurrent use (they are pure functions of
+// their arguments) and bitwise-equal across implementations.
+type Impl interface {
+	// Name is the registry name ("generic", "blocked").
+	Name() string
+
+	// RKUpdateBank advances one register: dq[i] = a·dq[i] + dt·r[i];
+	// q[i] += b·dq[i], for i over the full bank. q, dq, r have equal length.
+	RKUpdateBank(q, dq, r []float64, a, b, dt float64)
+
+	// ZeroBank zeroes a register bank.
+	ZeroBank(dst []float64)
+
+	// DiffInterior applies the 8th-order interior stencil along one grid
+	// line for indices i in [c0, c1): p = base + i·stride,
+	// d = Σ c8[m-1]·(src[p+m·stride] − src[p−m·stride]), writing d·met[i]
+	// (add=false) or accumulating it (add=true) into dst[p].
+	DiffInterior(dst, src []float64, base, stride, c0, c1 int, met []float64, add bool)
+
+	// DiffInterior32 is DiffInterior with float32 destination storage: the
+	// stencil and metric scaling are evaluated in float64 and rounded once
+	// on store (accumulation, when add is set, also promotes to float64).
+	DiffInterior32(dst []float32, src []float64, base, stride, c0, c1 int, met []float64, add bool)
+
+	// FilterInterior applies the 10th-order interior filter along one grid
+	// line for i in [c0, c1): dst[p] = src[p] − scale·Σ filter10[l+5]·src[p+l·stride].
+	FilterInterior(dst, src []float64, base, stride, c0, c1 int, scale float64, add bool)
+}
+
+// Eighth-order centred first-derivative weights for offsets ±1..±4
+// (antisymmetric; the weight of offset −m is −c8[m−1]). These are the
+// kernel contract shared by every Impl; deriv's boundary closures keep
+// their own reduced-order weights.
+var c8 = [4]float64{4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0}
+
+// filter10 holds (−1)^l·C(10,5+l) for offsets l = −5..5.
+var filter10 = [11]float64{-1, 10, -45, 120, -210, 252, -210, 120, -45, 10, -1}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Impl{}
+)
+
+// Register records an implementation under its Name. Later registrations
+// replace earlier ones (tests may shadow).
+func Register(im Impl) {
+	regMu.Lock()
+	registry[im.Name()] = im
+	regMu.Unlock()
+}
+
+// Get resolves a registered implementation by name.
+func Get(name string) (Impl, bool) {
+	regMu.RLock()
+	im, ok := registry[name]
+	regMu.RUnlock()
+	return im, ok
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Generic returns the reference implementation (always registered).
+func Generic() Impl { return genericImpl{} }
+
+// Blocked returns the hand-tiled implementation (always registered).
+func Blocked() Impl { return blockedImpl{} }
+
+func init() {
+	Register(genericImpl{})
+	Register(blockedImpl{})
+}

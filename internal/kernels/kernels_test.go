@@ -1,0 +1,220 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fillRand fills s with a reproducible mix of magnitudes, including exact
+// zeros (the signed-zero cases the bitwise contract must survive).
+func fillRand(s []float64, rng *rand.Rand) {
+	for i := range s {
+		switch rng.Intn(8) {
+		case 0:
+			s[i] = 0
+		case 1:
+			s[i] = math.Copysign(0, -1)
+		default:
+			s[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(8)-4))
+		}
+	}
+}
+
+func bitsEqual(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s: bit mismatch at %d: %x vs %x (%v vs %v)",
+				name, i, math.Float64bits(a[i]), math.Float64bits(b[i]), a[i], b[i])
+		}
+	}
+}
+
+func bitsEqual32(t *testing.T, name string, a, b []float32) {
+	t.Helper()
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("%s: bit mismatch at %d: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestRKUpdateParity pins the bitwise contract between backends for the
+// bank update, across lengths that exercise the unrolled and tail paths.
+func TestRKUpdateParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 1001} {
+		q := make([]float64, n)
+		dq := make([]float64, n)
+		r := make([]float64, n)
+		fillRand(q, rng)
+		fillRand(dq, rng)
+		fillRand(r, rng)
+		q2 := append([]float64(nil), q...)
+		dq2 := append([]float64(nil), dq...)
+		Generic().RKUpdateBank(q, dq, r, -0.697, 0.51, 4e-9)
+		Blocked().RKUpdateBank(q2, dq2, r, -0.697, 0.51, 4e-9)
+		bitsEqual(t, "q", q, q2)
+		bitsEqual(t, "dq", dq, dq2)
+	}
+}
+
+func TestZeroBankParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 777)
+	fillRand(a, rng)
+	b := append([]float64(nil), a...)
+	Generic().ZeroBank(a)
+	Blocked().ZeroBank(b)
+	bitsEqual(t, "zero", a, b)
+}
+
+// TestDiffInteriorParity sweeps strides (unit and transverse) and both ops.
+func TestDiffInteriorParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 40
+	for _, stride := range []int{1, 7, 50} {
+		need := 10 + (n+10)*stride
+		src := make([]float64, need)
+		fillRand(src, rng)
+		met := make([]float64, n)
+		fillRand(met, rng)
+		base := 5 * stride
+		for _, add := range []bool{false, true} {
+			for _, span := range [][2]int{{0, n}, {4, n - 4}, {3, 5}, {10, 10}} {
+				d1 := make([]float64, need)
+				d2 := make([]float64, need)
+				fillRand(d1, rng)
+				copy(d2, d1)
+				Generic().DiffInterior(d1, src, base, stride, span[0], span[1], met, add)
+				Blocked().DiffInterior(d2, src, base, stride, span[0], span[1], met, add)
+				bitsEqual(t, "diff", d1, d2)
+
+				f1 := make([]float32, need)
+				f2 := make([]float32, need)
+				for i := range f1 {
+					f1[i] = float32(d1[i])
+				}
+				copy(f2, f1)
+				Generic().DiffInterior32(f1, src, base, stride, span[0], span[1], met, add)
+				Blocked().DiffInterior32(f2, src, base, stride, span[0], span[1], met, add)
+				bitsEqual32(t, "diff32", f1, f2)
+			}
+		}
+	}
+}
+
+func TestFilterInteriorParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 40
+	for _, stride := range []int{1, 9} {
+		need := 12 + (n+12)*stride
+		src := make([]float64, need)
+		fillRand(src, rng)
+		base := 6 * stride
+		for _, add := range []bool{false, true} {
+			d1 := make([]float64, need)
+			d2 := make([]float64, need)
+			fillRand(d1, rng)
+			copy(d2, d1)
+			Generic().FilterInterior(d1, src, base, stride, 0, n, 0.5/1024, add)
+			Blocked().FilterInterior(d2, src, base, stride, 0, n, 0.5/1024, add)
+			bitsEqual(t, "filter", d1, d2)
+		}
+	}
+}
+
+func TestSelectSpecs(t *testing.T) {
+	for _, spec := range []string{"", "generic", "blocked", "auto",
+		"diff=blocked", "rk_update=blocked, filter=generic"} {
+		s, err := Select(spec)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", spec, err)
+		}
+		for k := 0; k < NumKernels; k++ {
+			if s.Impl(Kernel(k)) == nil {
+				t.Fatalf("Select(%q): kernel %v unset", spec, Kernel(k))
+			}
+		}
+	}
+	s := MustSelect("diff=blocked")
+	if !s.Blocked(Diff) || s.Blocked(RKUpdate) {
+		t.Fatalf("per-kernel spec not honoured: %s", s.String())
+	}
+	if _, err := Select("bogus=blocked"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if _, err := Select("diff=bogus"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := Select("justbogus"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+}
+
+func TestSelectionString(t *testing.T) {
+	if got := MustSelect("blocked").String(); got != "blocked" {
+		t.Fatalf("uniform selection renders %q", got)
+	}
+	mixed := MustSelect("diff=blocked").String()
+	if mixed == "generic" || mixed == "blocked" {
+		t.Fatalf("mixed selection renders uniform %q", mixed)
+	}
+}
+
+// TestAutoSelectStable: auto returns a usable, cached selection.
+func TestAutoSelectStable(t *testing.T) {
+	a := AutoSelect()
+	bsel := AutoSelect()
+	if a != bsel {
+		t.Fatal("AutoSelect not cached")
+	}
+	for k := 0; k < NumKernels; k++ {
+		if a.Impl(Kernel(k)) == nil {
+			t.Fatalf("auto left kernel %v unset", Kernel(k))
+		}
+	}
+}
+
+func BenchmarkRKUpdateImpl(b *testing.B) {
+	const n = 1 << 16
+	q := make([]float64, n)
+	dq := make([]float64, n)
+	r := make([]float64, n)
+	for i := range q {
+		q[i], dq[i], r[i] = float64(i), float64(i%7), float64(i%5)
+	}
+	for _, im := range []Impl{Generic(), Blocked()} {
+		b.Run(im.Name(), func(b *testing.B) {
+			b.SetBytes(n * 8 * 3)
+			for i := 0; i < b.N; i++ {
+				im.RKUpdateBank(q, dq, r, -0.7, 0.5, 1e-9)
+			}
+		})
+	}
+}
+
+func BenchmarkDiffInteriorImpl(b *testing.B) {
+	const n = 4096
+	src := make([]float64, n+16)
+	dst := make([]float64, n+16)
+	met := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i % 31)
+	}
+	for i := range met {
+		met[i] = 1
+	}
+	for _, im := range []Impl{Generic(), Blocked()} {
+		b.Run(im.Name(), func(b *testing.B) {
+			b.SetBytes(n * 8 * 2)
+			for i := 0; i < b.N; i++ {
+				im.DiffInterior(dst, src, 8, 1, 0, n, met, false)
+			}
+		})
+	}
+}

@@ -1,0 +1,227 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Selection maps every selectable kernel to a backend implementation.
+// The zero Selection is invalid; build one with Select.
+type Selection struct {
+	impls [numKernels]Impl
+}
+
+// Impl returns the selected implementation of a kernel.
+func (s *Selection) Impl(k Kernel) Impl { return s.impls[k] }
+
+// Name returns the selected backend name of a kernel.
+func (s *Selection) Name(k Kernel) string { return s.impls[k].Name() }
+
+// Blocked reports whether the kernel's selected backend is "blocked" —
+// the switch solver-resident tile bodies (flux assembly, primitives) key on.
+func (s *Selection) Blocked(k Kernel) bool { return s.Name(k) == "blocked" }
+
+// String renders the selection as a flag-spec ("generic", "blocked", or a
+// per-kernel comma list when mixed).
+func (s *Selection) String() string {
+	first := s.impls[0].Name()
+	uniform := true
+	for k := 1; k < NumKernels; k++ {
+		if s.impls[k].Name() != first {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return first
+	}
+	parts := make([]string, NumKernels)
+	for k := 0; k < NumKernels; k++ {
+		parts[k] = Kernel(k).String() + "=" + s.impls[k].Name()
+	}
+	return strings.Join(parts, ",")
+}
+
+// uniform builds a selection with one impl for every kernel.
+func uniform(im Impl) *Selection {
+	var s Selection
+	for k := range s.impls {
+		s.impls[k] = im
+	}
+	return &s
+}
+
+// Select parses a backend spec into a Selection:
+//
+//	""          — default: generic everywhere
+//	"generic"   — reference implementation everywhere
+//	"blocked"   — hand-tiled implementation everywhere
+//	"auto"      — per-kernel winners of a one-off startup microbenchmark
+//	"diff=blocked,rk_update=blocked,..." — explicit per-kernel choices;
+//	              unnamed kernels default to generic
+//
+// Because every backend is bitwise-equal by contract, the spec changes
+// performance, never results.
+func Select(spec string) (*Selection, error) {
+	switch spec {
+	case "", "generic":
+		return uniform(Generic()), nil
+	case "blocked":
+		return uniform(Blocked()), nil
+	case "auto":
+		return AutoSelect(), nil
+	}
+	s := uniform(Generic())
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("kernels: bad backend spec %q (want kernel=impl, e.g. diff=blocked)", part)
+		}
+		k, ok := KernelByName(strings.TrimSpace(kv[0]))
+		if !ok {
+			return nil, fmt.Errorf("kernels: unknown kernel %q in backend spec (valid: %s)",
+				kv[0], strings.Join(kernelNames[:], ", "))
+		}
+		im, ok := Get(strings.TrimSpace(kv[1]))
+		if !ok {
+			return nil, fmt.Errorf("kernels: unknown backend %q in spec (registered: %s)",
+				kv[1], strings.Join(Names(), ", "))
+		}
+		s.impls[k] = im
+	}
+	return s, nil
+}
+
+// MustSelect is Select for specs known valid at compile time.
+func MustSelect(spec string) *Selection {
+	s, err := Select(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+var (
+	autoOnce sync.Once
+	autoSel  *Selection
+)
+
+// AutoSelect times each registered backend on synthetic banks and grid
+// lines sized like the solver's hot loops and returns the per-kernel
+// winners. The measurement runs once per process (~a few ms) and is cached;
+// because backends are bitwise-equal, auto mode affects speed only and the
+// choice cannot perturb results. FluxAssembly and Primitives live in the
+// solver, so their winner is taken from a fused row-sweep proxy with the
+// same addressing contrast (indexed flat rows vs re-sliced windows).
+func AutoSelect() *Selection {
+	autoOnce.Do(func() { autoSel = measureAuto() })
+	return autoSel
+}
+
+func measureAuto() *Selection {
+	g, b := Generic(), Blocked()
+	s := uniform(g)
+
+	const bankN = 1 << 15
+	q := make([]float64, bankN)
+	dq := make([]float64, bankN)
+	r := make([]float64, bankN)
+	for i := range q {
+		q[i] = float64(i%17) * 0.1
+		dq[i] = float64(i%13) * 0.01
+		r[i] = float64(i%11) * 0.001
+	}
+
+	pick := func(k Kernel, tg, tb time.Duration) {
+		if tb < tg {
+			s.impls[k] = b
+		}
+	}
+
+	pick(RKUpdate,
+		bestOf(func() { g.RKUpdateBank(q, dq, r, -0.7, 0.5, 1e-9) }),
+		bestOf(func() { b.RKUpdateBank(q, dq, r, -0.7, 0.5, 1e-9) }))
+	pick(Reset,
+		bestOf(func() { g.ZeroBank(dq) }),
+		bestOf(func() { b.ZeroBank(dq) }))
+
+	// One unit-stride grid line with ghost margins, metric attached.
+	const lineN = 4096
+	const gpad = 8
+	src := make([]float64, lineN+2*gpad)
+	dst := make([]float64, lineN+2*gpad)
+	met := make([]float64, lineN)
+	for i := range src {
+		src[i] = float64(i%29) * 0.05
+	}
+	for i := range met {
+		met[i] = 1.0 + float64(i%7)*0.01
+	}
+	pick(Diff,
+		bestOf(func() { g.DiffInterior(dst, src, gpad, 1, 0, lineN, met, false) }),
+		bestOf(func() { b.DiffInterior(dst, src, gpad, 1, 0, lineN, met, false) }))
+	pick(Divergence,
+		bestOf(func() { g.DiffInterior(dst, src, gpad, 1, 0, lineN, met, true) }),
+		bestOf(func() { b.DiffInterior(dst, src, gpad, 1, 0, lineN, met, true) }))
+	pick(Filter,
+		bestOf(func() { g.FilterInterior(dst, src, gpad, 1, 0, lineN, 1.0/1024, false) }),
+		bestOf(func() { b.FilterInterior(dst, src, gpad, 1, 0, lineN, 1.0/1024, false) }))
+
+	// Fused row-sweep proxy for the solver-resident kernels: several
+	// same-shape operand streams combined per point, indexed (generic
+	// style) vs re-sliced check-free (blocked style).
+	fused := func(k Kernel) {
+		pick(k,
+			bestOf(func() { rowProxyIndexed(dst, src, met) }),
+			bestOf(func() { rowProxyBlocked(dst, src, met) }))
+	}
+	fused(FluxAssembly)
+	fused(Primitives)
+	return s
+}
+
+// bestOf returns the fastest of a few timed runs of fn (min-of-N damps
+// scheduler noise without needing a long measurement).
+func bestOf(fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < 5; rep++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// rowProxySink keeps the proxy sweeps observable.
+var rowProxySink float64
+
+// rowProxyIndexed mimics the generic fused tile bodies: flat indices into
+// full-length operand slices, bounds-checked per access.
+func rowProxyIndexed(a, bb, c []float64) {
+	n := len(c)
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += a[i]*bb[i] + c[i]*a[i] - bb[i]
+	}
+	rowProxySink = acc
+}
+
+// rowProxyBlocked mimics the blocked tile bodies: operands re-sliced to a
+// proven common length so the loop runs check-free.
+func rowProxyBlocked(a, bb, c []float64) {
+	n := len(c)
+	a, bb = a[:n], bb[:n]
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += a[i]*bb[i] + c[i]*a[i] - bb[i]
+	}
+	rowProxySink = acc
+}

@@ -51,7 +51,11 @@ func TestRooflineFromSyntheticRun(t *testing.T) {
 		s.End()
 	}
 	rep := Build(p)
-	shape := RunShape{PointsPerRank: 16 * 16 * 16, NumSpecies: 9}
+	shape := RunShape{
+		PointsPerRank: 16 * 16 * 16, NumSpecies: 9,
+		Policy:     "mixed",
+		KernelImpl: map[string]string{"RK_UPDATE": "blocked"},
+	}
 	machines := []perf.Machine{perf.XT3, perf.XT4}
 	rows := Roofline(rep, shape, machines)
 	if len(rows) != 2 {
@@ -60,6 +64,16 @@ func TestRooflineFromSyntheticRun(t *testing.T) {
 	for _, r := range rows {
 		if r.Calls != 2 {
 			t.Fatalf("%s calls = %d", r.Kernel, r.Calls)
+		}
+		switch r.Kernel {
+		case "RK_UPDATE":
+			if r.Impl != "blocked" {
+				t.Fatalf("RK_UPDATE impl = %q, want blocked", r.Impl)
+			}
+		default:
+			if r.Impl != "-" {
+				t.Fatalf("%s impl = %q, want -", r.Kernel, r.Impl)
+			}
 		}
 		if r.TimePerPt <= 0 || r.GFlopS <= 0 || r.GBS <= 0 {
 			t.Fatalf("%s rates: %+v", r.Kernel, r)
@@ -76,8 +90,11 @@ func TestRooflineFromSyntheticRun(t *testing.T) {
 			}
 		}
 	}
-	txt := FormatRoofline(rows, machines)
-	for _, want := range []string{"REACTION_RATE_BOUNDS", "RK_UPDATE", "XT3", "XT4", "flops/pt"} {
+	txt := FormatRoofline(rows, shape, machines)
+	for _, want := range []string{
+		"REACTION_RATE_BOUNDS", "RK_UPDATE", "XT3", "XT4", "flops/pt",
+		"precision policy: mixed", "blocked", "impl",
+	} {
 		if !strings.Contains(txt, want) {
 			t.Fatalf("roofline table missing %q:\n%s", want, txt)
 		}

@@ -1,0 +1,219 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"github.com/s3dgo/s3d/internal/par"
+)
+
+// runDecomposedOn is runDecomposed with an explicit kernel backend and
+// precision policy, so the determinism and parity gates can sweep the
+// (backend, policy) matrix on the same decomposed reacting case.
+func runDecomposedOn(t *testing.T, workers int, backend, precision string) []rankState {
+	t.Helper()
+	pool := par.NewPool(workers)
+	defer pool.Close()
+	cfg := reactiveConfig()
+	cfg.Pool = pool
+	cfg.Backend = backend
+	cfg.Precision = precision
+	results := make(chan rankState, 4)
+	err := RunParallel(cfg, [3]int{2, 2, 1}, func(b *Block) {
+		b.EnableTelemetry(nil)
+		hotSpotIC(b)
+		b.Advance(10, 2e-8)
+		st := rankState{i0: b.i0, j0: b.j0, k0: b.k0,
+			hrr:  math.Float64bits(b.HeatRelease()),
+			mass: math.Float64bits(b.TotalMass()),
+		}
+		st.q = make([][]uint64, b.nvar)
+		for v := 0; v < b.nvar; v++ {
+			for k := 0; k < b.G.Nz; k++ {
+				for j := 0; j < b.G.Ny; j++ {
+					for i := 0; i < b.G.Nx; i++ {
+						st.q[v] = append(st.q[v], math.Float64bits(b.Q[v].At(i, j, k)))
+					}
+				}
+			}
+		}
+		results <- st
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(results)
+	var out []rankState
+	for r := range results {
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestBlockedBackendBitwiseParity pins the blocked backend against the seed
+// solution hash: re-tiling, bounds-check hoisting and row-window addressing
+// must not change a single bit of the trajectory, with one worker and four.
+func TestBlockedBackendBitwiseParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run reacting case")
+	}
+	for _, workers := range []int{1, 4} {
+		if h := solutionHash(runDecomposedOn(t, workers, "blocked", "")); h != seedSolutionHash {
+			t.Fatalf("blocked backend, workers=%d: hash %#016x, generic/seed gave %#016x",
+				workers, h, seedSolutionHash)
+		}
+	}
+}
+
+// TestMixedPolicyDeterminismAndBackendParity: under the mixed precision
+// policy the trajectory legitimately differs from float64, but it must stay
+// (a) bitwise reproducible across worker counts and (b) bitwise identical
+// between the generic and blocked backends — the policy changes storage, the
+// backend changes addressing, and neither may interact with scheduling.
+func TestMixedPolicyDeterminismAndBackendParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run reacting case")
+	}
+	hashes := map[string]uint64{}
+	for _, backend := range []string{"generic", "blocked"} {
+		h1 := solutionHash(runDecomposedOn(t, 1, backend, "mixed"))
+		h4 := solutionHash(runDecomposedOn(t, 4, backend, "mixed"))
+		if h1 != h4 {
+			t.Fatalf("backend %s under mixed policy: workers=1 hash %#016x != workers=4 hash %#016x",
+				backend, h1, h4)
+		}
+		hashes[backend] = h4
+	}
+	if hashes["generic"] != hashes["blocked"] {
+		t.Fatalf("mixed-policy backends disagree: generic %#016x vs blocked %#016x",
+			hashes["generic"], hashes["blocked"])
+	}
+}
+
+// TestMixedPolicySolutionTolerance compares the mixed-precision trajectory
+// against the strict float64 baseline after ten steps of the reacting case.
+// Demoting transport and gradients to float32 storage perturbs only the
+// diffusive terms, so the conserved state must track the baseline to a
+// float32-commensurate relative tolerance — and must not match it bitwise,
+// or the demotion silently failed to engage.
+func TestMixedPolicySolutionTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run reacting case")
+	}
+	key := func(r rankState) [3]int { return [3]int{r.i0, r.j0, r.k0} }
+	base := map[[3]int]rankState{}
+	for _, r := range runDecomposedOn(t, 4, "", "") {
+		base[key(r)] = r
+	}
+	const relTol = 1e-4
+	identical := true
+	for _, r := range runDecomposedOn(t, 4, "", "mixed") {
+		ref, ok := base[key(r)]
+		if !ok {
+			t.Fatalf("no baseline rank at offset (%d,%d,%d)", r.i0, r.j0, r.k0)
+		}
+		for v := range r.q {
+			for p := range r.q[v] {
+				if r.q[v][p] != ref.q[v][p] {
+					identical = false
+				}
+				got := math.Float64frombits(r.q[v][p])
+				want := math.Float64frombits(ref.q[v][p])
+				scale := math.Abs(want)
+				if scale < 1e-30 {
+					scale = 1e-30
+				}
+				if math.Abs(got-want) > relTol*scale {
+					t.Fatalf("rank(%d,%d,%d) Q[%d] flat %d: mixed %g vs strict %g (rel %g > %g)",
+						r.i0, r.j0, r.k0, v, p, got, want,
+						math.Abs(got-want)/scale, relTol)
+				}
+			}
+		}
+		hrrGot := math.Float64frombits(r.hrr)
+		hrrWant := math.Float64frombits(ref.hrr)
+		if math.Abs(hrrGot-hrrWant) > relTol*math.Abs(hrrWant) {
+			t.Fatalf("heat release drifted: mixed %g vs strict %g", hrrGot, hrrWant)
+		}
+		massGot := math.Float64frombits(r.mass)
+		massWant := math.Float64frombits(ref.mass)
+		if math.Abs(massGot-massWant) > relTol*math.Abs(massWant) {
+			t.Fatalf("total mass drifted: mixed %g vs strict %g", massGot, massWant)
+		}
+	}
+	if identical {
+		t.Fatal("mixed policy reproduced strict bitwise — float32 demotion never engaged")
+	}
+}
+
+// TestDiffFluxKernelsAgreeMixed re-runs the naive/optimized diffusive-flux
+// cross-check with float32 transport and gradient storage: both kernels read
+// the same rounded inputs and accumulate in float64, so they must still
+// agree to float64 roundoff, and the Σⱼ correction must still cancel.
+func TestDiffFluxKernelsAgreeMixed(t *testing.T) {
+	cfg := airConfig(12, 10, 6, 0.02)
+	cfg.Precision = "mixed"
+	b, err := NewSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Mu.Data32 == nil || b.dT[0].Data32 == nil {
+		t.Fatal("mixed policy must demote transport and gradient fields")
+	}
+	b.SetState(func(x, y, z float64, s *InflowState) {
+		f := 0.02 * (1 + math.Sin(2*math.Pi*x/0.02)*math.Cos(2*math.Pi*y/0.02))
+		s.T = 400 + 50*math.Sin(2*math.Pi*y/0.02)
+		for i := range s.Y {
+			s.Y[i] = 0
+		}
+		s.Y[b.mech.Set.Index("H2")] = f
+		s.Y[b.mech.Set.Index("H2O")] = 0.05
+		s.Y[b.mech.Set.Index("O2")] = 0.2
+		s.Y[b.mech.Set.Index("N2")] = 1 - f - 0.25
+	}, nil)
+	b.exchangeHalos(b.Q, tagConserved)
+	b.computePrimitives()
+	b.computeTransport()
+	b.computeGradients()
+
+	b.computeDiffFluxNaive()
+	naive := make([][3][]float64, b.ns)
+	for n := 0; n < b.ns; n++ {
+		for d := 0; d < 3; d++ {
+			naive[n][d] = append([]float64(nil), b.J[d][n].Data...)
+		}
+	}
+	b.computeDiffFluxOptimized()
+	var maxJ float64
+	for n := 0; n < b.ns; n++ {
+		for d := 0; d < 3; d++ {
+			for idx, v := range b.J[d][n].Data {
+				if a := math.Abs(v); a > maxJ {
+					maxJ = a
+				}
+				if diff := math.Abs(v - naive[n][d][idx]); diff > 1e-18+1e-9*math.Abs(v) {
+					t.Fatalf("mixed kernels disagree: species %d dir %d idx %d: %g vs %g",
+						n, d, idx, v, naive[n][d][idx])
+				}
+			}
+		}
+	}
+	if maxJ == 0 {
+		t.Fatal("diffusive flux identically zero — test vacuous")
+	}
+	for d := 0; d < 3; d++ {
+		for k := 0; k < b.G.Nz; k++ {
+			for j := 0; j < b.G.Ny; j++ {
+				for i := 0; i < b.G.Nx; i++ {
+					var s float64
+					for n := 0; n < b.ns; n++ {
+						s += b.J[d][n].At(i, j, k)
+					}
+					if math.Abs(s) > 1e-12*maxJ {
+						t.Fatalf("ΣJ = %g at (%d,%d,%d) dir %d under mixed policy", s, i, j, k, d)
+					}
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/health"
+	"github.com/s3dgo/s3d/internal/kernels"
 	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/par"
@@ -98,6 +99,19 @@ type Config struct {
 	DiffFlux     DiffFluxKernel
 	ChemistryOff bool // inert runs (pressure-wave tests, figure 4/5 kernel study)
 
+	// Backend selects the kernel backend for the hot loops (see
+	// internal/kernels): "" or "generic" for the reference code, "blocked"
+	// for the hand-tiled variants, "auto" for per-kernel microbenchmark
+	// winners, or a "kernel=impl,..." list. Every backend is bitwise-equal
+	// by contract, so this is a performance knob, never a physics one.
+	Backend string
+
+	// Precision names the per-field storage policy (see grid.ParsePolicy):
+	// "" or "strict" stores every field in float64; "mixed" demotes
+	// transport coefficients and stored gradients to float32 storage while
+	// all computation and accumulation stays float64.
+	Precision string
+
 	// ConstLewis, when positive, replaces the mixture-averaged diffusion
 	// coefficients by the constant-Lewis-number model Dᵢ = λ/(ρ·cp·Le) —
 	// the classical simplification the paper's mixture-averaged transport
@@ -139,10 +153,24 @@ type Block struct {
 	trans *transport.Model
 
 	// fs is the block's field registry: every Field3 below is carved from
-	// its one contiguous arena, in registration order (see registerFields).
-	// Consumers resolve fields by registered name or halo group; the named
-	// struct fields are hoisted views into the same storage.
+	// its per-width contiguous arenas, in registration order (see
+	// registerFields). Consumers resolve fields by registered name or halo
+	// group; the named struct fields are hoisted views into the same storage.
 	fs *grid.FieldSet
+
+	// sel maps each hot kernel to its backend implementation (Config.Backend)
+	// and pol is the storage policy the registry was built under
+	// (Config.Precision). Both are fixed at construction.
+	sel *kernels.Selection
+	pol grid.Policy
+
+	// Exactly one of g64/g32 is non-nil: raw-slice views of the fields the
+	// fused kernels read without At (gradients and transport coefficients),
+	// at the width the precision policy gave them. Kernels that touch these
+	// fields are generic over the view's element type and always compute in
+	// float64.
+	g64 *gradView[float64]
+	g32 *gradView[float32]
 
 	cart *comm.Cart // nil for serial runs
 	// offset of the local block in the global grid
@@ -176,6 +204,14 @@ type Block struct {
 	// flux[var][dir].
 	J    [3][]*grid.Field3
 	flux [][3]*grid.Field3
+
+	// Raw float64 views of Q/flux/J/Y, hoisted once so the blocked tiles
+	// load each backing slice once per tile instead of re-deriving it from
+	// the Field3 header at every cell (these roles are always float64).
+	qD    [][]float64
+	fluxD [][3][]float64
+	jD    [3][][]float64
+	yD    [][]float64
 
 	// Per-face boundary condition resolved for this block: interior faces
 	// (with a neighbouring rank) behave like UseGhosts.
@@ -266,6 +302,14 @@ type kernScratch struct {
 	mech             *chem.Mechanism
 	trans            *transport.Model
 
+	// Row scratch of the blocked flux-assembly kernel (length Nx): heat-flux
+	// accumulators per direction, per-species enthalpy, velocity divergence
+	// and the six distinct components of the symmetric stress tensor.
+	rowQ   [3][]float64
+	rowH   []float64
+	rowDiv []float64
+	rowTau [6][]float64
+
 	// NSCBC per-point buffers (normalInviscidDeriv result and flux stencil).
 	nvOut, nvFlux []float64
 	// inflow target for faces without the per-(j,k) cache
@@ -325,6 +369,12 @@ func validate(cfg *Config) error {
 			return fmt.Errorf("solver: NSCBC boundaries require Config.PInf")
 		}
 	}
+	if _, err := kernels.Select(cfg.Backend); err != nil {
+		return err
+	}
+	if _, err := grid.ParsePolicy(cfg.Precision); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -339,6 +389,9 @@ func newBlock(cfg *Config, local *grid.Grid, cart *comm.Cart, i0, j0, k0 int) *B
 		ns: ns, nvar: cfg.nVar(),
 		Timers: perf.NewTimers(),
 	}
+	// Backend and policy were validated before newBlock runs.
+	b.sel = kernels.MustSelect(cfg.Backend)
+	b.pol, _ = grid.ParsePolicy(cfg.Precision)
 	b.registerFields()
 	b.yw = make([]float64, ns)
 	b.cw = make([]float64, ns)
@@ -360,6 +413,15 @@ func newBlock(cfg *Config, local *grid.Grid, cart *comm.Cart, i0, j0, k0 int) *B
 			nvOut:  make([]float64, b.nvar),
 			nvFlux: make([]float64, b.nvar),
 			tgt:    InflowState{Y: make([]float64, ns)},
+		}
+		s := &b.ws[w]
+		s.rowH = make([]float64, b.G.Nx)
+		s.rowDiv = make([]float64, b.G.Nx)
+		for d := range s.rowQ {
+			s.rowQ[d] = make([]float64, b.G.Nx)
+		}
+		for m := range s.rowTau {
+			s.rowTau[m] = make([]float64, b.G.Nx)
 		}
 	}
 
@@ -435,7 +497,7 @@ func (b *Block) conservedNames() []string {
 // viz/in-situ pickers resolve ("rho", "u", "T", "Y_OH", …).
 func (b *Block) registerFields() {
 	ns := b.ns
-	fs := grid.NewFieldSet(b.G.Nx, b.G.Ny, b.G.Nz, grid.Ghost)
+	fs := grid.NewFieldSetPolicy(b.G.Nx, b.G.Ny, b.G.Nz, grid.Ghost, b.pol)
 	b.fs = fs
 
 	qNames := b.conservedNames()
@@ -569,7 +631,104 @@ func (b *Block) registerFields() {
 	}
 	b.scratchF = fs.Field(scratchID)
 	b.naiveT1, b.naiveT2 = fs.Field(nt1ID), fs.Field(nt2ID)
+
+	b.qD = make([][]float64, b.nvar)
+	b.fluxD = make([][3][]float64, b.nvar)
+	for v := 0; v < b.nvar; v++ {
+		b.qD[v] = b.Q[v].Data
+		for d := 0; d < 3; d++ {
+			b.fluxD[v][d] = b.flux[v][d].Data
+		}
+	}
+	b.yD = make([][]float64, ns)
+	for d := 0; d < 3; d++ {
+		b.jD[d] = make([][]float64, ns)
+		for n := 0; n < ns; n++ {
+			b.jD[d][n] = b.J[d][n].Data
+		}
+	}
+	for n := 0; n < ns; n++ {
+		b.yD[n] = b.Y[n].Data
+	}
+
+	// Hoist the raw-slice views of the policy-width fields once; the fused
+	// kernels pick the matching instantiation by which view is non-nil.
+	if b.pol.StorageFor(grid.RoleGradient) == grid.StorageFloat32 {
+		b.g32 = newGradView[float32](b)
+	} else {
+		b.g64 = newGradView[float64](b)
+	}
 }
+
+// gradView is the raw-slice view of the fields the fused kernels read
+// without going through At: the stored gradients and transport coefficients,
+// which are the fields the mixed precision policy demotes. The element type
+// is the storage width; every consumer widens on load and computes in
+// float64.
+type gradView[F grid.Float] struct {
+	dU  [3][3][]F // dU[comp][dir]
+	dT  [3][]F
+	dW  [3][]F
+	dY  [][3][]F // [species][dir]
+	mu  []F
+	lam []F
+	d   [][]F // [species]
+}
+
+// fdata returns f's backing slice at width F, panicking when the field's
+// storage width disagrees — a registration/policy bug, not a runtime state.
+func fdata[F grid.Float](f *grid.Field3) []F {
+	if s, ok := any(f.Data).([]F); ok && s != nil {
+		return s
+	}
+	if s, ok := any(f.Data32).([]F); ok && s != nil {
+		return s
+	}
+	panic("solver: field storage width does not match requested view")
+}
+
+func newGradView[F grid.Float](b *Block) *gradView[F] {
+	g := &gradView[F]{
+		mu:  fdata[F](b.Mu),
+		lam: fdata[F](b.Lambda),
+		dY:  make([][3][]F, b.ns),
+		d:   make([][]F, b.ns),
+	}
+	for c := 0; c < 3; c++ {
+		for d := 0; d < 3; d++ {
+			g.dU[c][d] = fdata[F](b.dU[c][d])
+		}
+		g.dT[c] = fdata[F](b.dT[c])
+		g.dW[c] = fdata[F](b.dW[c])
+	}
+	for n := 0; n < b.ns; n++ {
+		g.d[n] = fdata[F](b.D[n])
+		for d := 0; d < 3; d++ {
+			g.dY[n][d] = fdata[F](b.dY[n][d])
+		}
+	}
+	return g
+}
+
+// KernelBackends maps each backend-selectable profiler region to the name of
+// the implementation serving it (the roofline Impl column).
+func (b *Block) KernelBackends() map[string]string {
+	return map[string]string{
+		"RK_UPDATE":          b.sel.Name(kernels.RKUpdate),
+		"DERIVATIVES":        b.sel.Name(kernels.Diff),
+		"DIVERGENCE":         b.sel.Name(kernels.Divergence),
+		"FILTER":             b.sel.Name(kernels.Filter),
+		"ASSEMBLE_FLUXES":    b.sel.Name(kernels.FluxAssembly),
+		"COMPUTE_PRIMITIVES": b.sel.Name(kernels.Primitives),
+	}
+}
+
+// BackendSpec renders the block's kernel selection as a flag spec.
+func (b *Block) BackendSpec() string { return b.sel.String() }
+
+// PrecisionPolicy returns the storage policy name the registry was built
+// under ("strict", "mixed").
+func (b *Block) PrecisionPolicy() string { return b.pol.String() }
 
 // Fields returns the block's field registry: the single source of truth for
 // field identity (names, roles, halo groups, checkpoint inclusion) and the

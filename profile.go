@@ -40,10 +40,17 @@ func (s *Simulation) EnableProfiling(p *prof.Profiler, trackName string) {
 func (s *Simulation) ProfTrack() *prof.Track { return s.blk.ProfTrack() }
 
 // ProfileShape describes this simulation's per-rank workload for the
-// roofline analysis (interior points per rank and species count).
+// roofline analysis (interior points per rank and species count), labelled
+// with the run's precision policy and the backend serving each kernel so
+// the roofline table states which implementation produced each rate.
 func (s *Simulation) ProfileShape() prof.RunShape {
 	nx, ny, nz := s.Dims()
-	return prof.RunShape{PointsPerRank: nx * ny * nz, NumSpecies: s.mech.NumSpecies()}
+	return prof.RunShape{
+		PointsPerRank: nx * ny * nz,
+		NumSpecies:    s.mech.NumSpecies(),
+		Policy:        s.blk.PrecisionPolicy(),
+		KernelImpl:    s.blk.KernelBackends(),
+	}
 }
 
 // ProfileMachines returns the machine models the roofline compares

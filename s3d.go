@@ -38,6 +38,7 @@ import (
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/kernels"
 	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/reactor"
 	"github.com/s3dgo/s3d/internal/solver"
@@ -56,6 +57,59 @@ func SetWorkers(n int) { par.SetDefaultWorkers(n) }
 
 // Workers reports the size of the process-wide kernel worker pool.
 func Workers() int { return par.DefaultWorkers() }
+
+// Process-wide defaults for Config.Backend / Config.Precision, used when the
+// corresponding Config field is empty.
+var (
+	defaultBackend   string
+	defaultPrecision string
+)
+
+// SetBackend sets the process-default kernel backend spec used by
+// simulations whose Config.Backend is empty: "generic" (reference loops,
+// the default), "blocked" (hand-tiled, bounds-check-hoisted), "auto" (a
+// startup microbenchmark picks the winner per kernel), or a per-kernel list
+// such as "rk_update=blocked,diff=generic". Every backend produces bitwise
+// identical solutions; the spec is validated here and an unknown name is an
+// error.
+func SetBackend(spec string) error {
+	if _, err := kernels.Select(spec); err != nil {
+		return err
+	}
+	defaultBackend = spec
+	return nil
+}
+
+// Backend reports the process-default kernel backend spec.
+func Backend() string {
+	if defaultBackend == "" {
+		return "generic"
+	}
+	return defaultBackend
+}
+
+// SetPrecision sets the process-default per-field storage policy used by
+// simulations whose Config.Precision is empty: "strict" (every field
+// float64, the default) or "mixed" (gradient and transport fields stored
+// float32 with all arithmetic still performed in float64). The conserved
+// state, RK registers and fluxes are float64 under every policy, so "mixed"
+// changes storage-rounding only; solutions remain bitwise independent of
+// the worker count within a policy.
+func SetPrecision(policy string) error {
+	if _, err := grid.ParsePolicy(policy); err != nil {
+		return err
+	}
+	defaultPrecision = policy
+	return nil
+}
+
+// Precision reports the process-default storage policy name.
+func Precision() string {
+	if defaultPrecision == "" {
+		return "strict"
+	}
+	return defaultPrecision
+}
 
 // Mechanism bundles a chemical mechanism with its thermodynamic and
 // transport data, playing the role of the CHEMKIN/TRANSPORT linkage of the
@@ -194,6 +248,14 @@ type Config struct {
 	// ConstLewis, when positive, replaces mixture-averaged diffusion by the
 	// constant-Lewis-number model (an ablation of the paper's transport).
 	ConstLewis float64
+
+	// Backend selects the kernel backend for the hot loops: "generic",
+	// "blocked", "auto", or a per-kernel "kernel=impl" list (see SetBackend).
+	// Empty uses the process default. Backends are bitwise interchangeable.
+	Backend string
+	// Precision selects the per-field storage policy: "strict" or "mixed"
+	// (see SetPrecision). Empty uses the process default.
+	Precision string
 }
 
 func (c *Config) toSolver() (*solver.Config, error) {
@@ -217,6 +279,14 @@ func (c *Config) toSolver() (*solver.Config, error) {
 		CFL:            c.CFL,
 		ChemistryOff:   c.ChemistryOff,
 		ConstLewis:     c.ConstLewis,
+		Backend:        c.Backend,
+		Precision:      c.Precision,
+	}
+	if sc.Backend == "" {
+		sc.Backend = defaultBackend
+	}
+	if sc.Precision == "" {
+		sc.Precision = defaultPrecision
 	}
 	if c.OptimizedDiffFlux {
 		sc.DiffFlux = solver.DiffFluxOptimized
@@ -311,10 +381,15 @@ func (s *Simulation) Field(name string) ([]float64, [3]int, error) {
 	if f == nil {
 		return nil, dims, fmt.Errorf("s3d: unknown field %q", name)
 	}
+	var buf []float64
+	if f.Data32 != nil {
+		// Narrow-storage field (mixed policy): widen row by row.
+		buf = make([]float64, nx)
+	}
 	out := make([]float64, 0, nx*ny*nz)
 	for k := 0; k < nz; k++ {
 		for j := 0; j < ny; j++ {
-			out = append(out, f.Row(j, k)...)
+			out = append(out, f.RowInto(buf, j, k)...)
 		}
 	}
 	return out, dims, nil
