@@ -26,6 +26,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"syscall"
 	"testing"
 	"time"
 
@@ -33,6 +35,7 @@ import (
 	"github.com/s3dgo/s3d/internal/deriv"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
+	"github.com/s3dgo/s3d/internal/health"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/pario"
@@ -397,64 +400,116 @@ func BenchmarkFig16Workflow(b *testing.B) {
 
 // --- Observability overhead ---
 
+// benchCPUOverhead is the shared harness behind the observability
+// overhead gates (telemetry, watchdog, analysis, cost maps). Wall-clock
+// window timings on shared single-CPU runners are ±5% noisy — an order
+// of magnitude above the 2% budgets — so the gate is built on process
+// CPU time (getrusage) instead: the baseline and the instrumented
+// simulation advance in interleaved paired windows so scheduler drift
+// hits both sides, each round yields an on/off CPU ratio, each
+// repetition takes the median over its rounds, and the gate takes the
+// best repetition — a real regression shifts every repetition, while a
+// one-off noise spike cannot fail the build.
+//
+// newPair builds a fresh baseline simulation plus the instrumented
+// side's step function and optional teardown (telemetry must close its
+// probe; the watchdog routes through TryAdvance).
+func benchCPUOverhead(b *testing.B, what string, newPair func() (off *Simulation, stepOn func(n int, dt float64), done func())) {
+	const warm, window, rounds, reps = 2, 8, 8, 3
+	cpuSeconds := func() float64 {
+		var ru syscall.Rusage
+		if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+			b.Fatal(err)
+		}
+		return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+			float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
+	}
+	for i := 0; i < b.N; i++ {
+		best := math.Inf(1)
+		for rep := 0; rep < reps; rep++ {
+			off, stepOn, done := newPair()
+			// Normalise heap state so a previous benchmark's garbage cannot
+			// bias this repetition's GC-assist attribution.
+			runtime.GC()
+			warmDt := 0.4 * off.StableDt()
+			off.Advance(warm, warmDt)
+			stepOn(warm, warmDt)
+			ratios := make([]float64, 0, rounds)
+			for r := 0; r < rounds; r++ {
+				// Refresh dt as the flame develops: both sims follow the
+				// identical trajectory, so the baseline's stable dt is the
+				// instrumented side's too, and a dt frozen at step 0 goes
+				// unstable as ignition stiffens the acoustics.
+				dt := 0.4 * off.StableDt()
+				// ABBA window order: any linear load or frequency drift
+				// across the round contributes equally to both sides of the
+				// ratio and cancels.
+				s := cpuSeconds()
+				off.Advance(window, dt)
+				offCPU := cpuSeconds() - s
+				s = cpuSeconds()
+				stepOn(window, dt)
+				onCPU := cpuSeconds() - s
+				s = cpuSeconds()
+				stepOn(window, dt)
+				onCPU += cpuSeconds() - s
+				s = cpuSeconds()
+				off.Advance(window, dt)
+				offCPU += cpuSeconds() - s
+				ratios = append(ratios, onCPU/offCPU)
+			}
+			if done != nil {
+				done()
+			}
+			sort.Float64s(ratios)
+			if med := ratios[len(ratios)/2]; med < best {
+				best = med
+			}
+		}
+		overhead := (best - 1) * 100
+		b.ReportMetric(overhead, "overhead_%")
+		if overhead > 2.0 {
+			b.Errorf("%s overhead %.2f%% exceeds the 2%% budget (best median CPU ratio %.4f over %d reps)",
+				what, overhead, best, reps)
+		}
+	}
+}
+
+// newLiftedBenchSim builds the small reacting lifted-jet case the
+// overhead gates share.
+func newLiftedBenchSim(b *testing.B) (*Simulation, *Problem) {
+	p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := p.NewSimulation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim, p
+}
+
 // BenchmarkObsOverhead measures the cost of full step telemetry (trace
 // writer attached, every per-step monitor live) against an uninstrumented
 // run of the same problem, and fails if the overhead exceeds the 2% budget
-// the observability layer is designed to. Min-of-trials on both sides keeps
-// scheduler noise out of the comparison.
+// the observability layer is designed to (methodology: benchCPUOverhead).
 func BenchmarkObsOverhead(b *testing.B) {
-	const warm, measure, trials = 2, 8, 4
-	newSim := func() *Simulation {
-		p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 5})
+	benchCPUOverhead(b, "telemetry", func() (*Simulation, func(int, float64), func()) {
+		off, _ := newLiftedBenchSim(b)
+		on, _ := newLiftedBenchSim(b)
+		probe, err := on.StartTelemetry(TelemetryOptions{
+			Case:  "bench",
+			Trace: obs.NewTrace(io.Discard),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		sim, err := p.NewSimulation()
-		if err != nil {
-			b.Fatal(err)
-		}
-		return sim
-	}
-	for i := 0; i < b.N; i++ {
-		off, on := math.Inf(1), math.Inf(1)
-		for t := 0; t < trials; t++ {
-			sim := newSim()
-			dt := 0.4 * sim.StableDt()
-			sim.Advance(warm, dt)
-			start := time.Now()
-			sim.Advance(measure, dt)
-			if w := time.Since(start).Seconds(); w < off {
-				off = w
-			}
-
-			sim = newSim()
-			dt = 0.4 * sim.StableDt()
-			probe, err := sim.StartTelemetry(TelemetryOptions{
-				Case:  "bench",
-				Trace: obs.NewTrace(io.Discard),
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			probe.Advance(warm, dt)
-			start = time.Now()
-			probe.Advance(measure, dt)
-			if w := time.Since(start).Seconds(); w < on {
-				on = w
-			}
+		return off, probe.Advance, func() {
 			if err := probe.Close("bench done"); err != nil {
 				b.Fatal(err)
 			}
 		}
-		overhead := (on - off) / off * 100
-		b.ReportMetric(off/measure*1e3, "off_ms/step")
-		b.ReportMetric(on/measure*1e3, "on_ms/step")
-		b.ReportMetric(overhead, "overhead_%")
-		if overhead > 2.0 {
-			b.Errorf("telemetry overhead %.2f%% exceeds the 2%% budget (off %.3fms on %.3fms per step)",
-				overhead, off/measure*1e3, on/measure*1e3)
-		}
-	}
+	})
 }
 
 // BenchmarkProfOverhead measures the cost of the call-path profiler on the
@@ -708,57 +763,28 @@ func derivMaxErr(n int) float64 {
 // fused end-of-step invariant sweep with every check on, plus the flight
 // recorder — against an unwatched run of the same problem, and fails if
 // the overhead exceeds the 2% budget the health layer is designed to
-// (matching the observability budget of BenchmarkObsOverhead). When
-// disarmed the whole feature costs one nil check and at most one atomic
-// load per step, which is below benchmark noise by construction.
+// (methodology: benchCPUOverhead). When disarmed the whole feature costs
+// one nil check and at most one atomic load per step, which is below
+// measurement resolution by construction.
 func BenchmarkHealthOverhead(b *testing.B) {
-	const warm, measure, trials = 2, 8, 4
-	newSim := func() *Simulation {
-		p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 5})
-		if err != nil {
-			b.Fatal(err)
-		}
-		sim, err := p.NewSimulation()
-		if err != nil {
-			b.Fatal(err)
-		}
-		return sim
-	}
-	for i := 0; i < b.N; i++ {
-		off, on := math.Inf(1), math.Inf(1)
-		for t := 0; t < trials; t++ {
-			sim := newSim()
-			dt := 0.4 * sim.StableDt()
-			sim.Advance(warm, dt)
-			start := time.Now()
-			sim.Advance(measure, dt)
-			if w := time.Since(start).Seconds(); w < off {
-				off = w
-			}
-
-			sim = newSim()
-			dt = 0.4 * sim.StableDt()
-			sim.EnableHealth(HealthOptions{})
-			if err := sim.TryAdvance(warm, dt); err != nil {
+	benchCPUOverhead(b, "watchdog", func() (*Simulation, func(int, float64), func()) {
+		off, _ := newLiftedBenchSim(b)
+		on, _ := newLiftedBenchSim(b)
+		// Every check runs — the benchmark pays the full sweep — but the
+		// deliberately under-resolved ignition case drifts past the default
+		// 5% species-sum and species-bounds FATAL bands around step 65, so
+		// only those trip thresholds are widened to keep the ~100-step
+		// measurement alive.
+		cfg := HealthDefaults()
+		cfg.SpeciesSum = health.Above(0.1, 0.5)
+		cfg.SpeciesBounds = health.Range(-0.1, 1.1, -0.5, 1.5)
+		on.EnableHealth(HealthOptions{Config: &cfg})
+		return off, func(n int, dt float64) {
+			if err := on.TryAdvance(n, dt); err != nil {
 				b.Fatal(err)
 			}
-			start = time.Now()
-			if err := sim.TryAdvance(measure, dt); err != nil {
-				b.Fatal(err)
-			}
-			if w := time.Since(start).Seconds(); w < on {
-				on = w
-			}
-		}
-		overhead := (on - off) / off * 100
-		b.ReportMetric(off/measure*1e3, "off_ms/step")
-		b.ReportMetric(on/measure*1e3, "on_ms/step")
-		b.ReportMetric(overhead, "overhead_%")
-		if overhead > 2.0 {
-			b.Errorf("watchdog overhead %.2f%% exceeds the 2%% budget (off %.3fms on %.3fms per step)",
-				overhead, off/measure*1e3, on/measure*1e3)
-		}
-	}
+		}, nil
+	})
 }
 
 // --- In-situ analysis overhead ---
@@ -767,57 +793,49 @@ func BenchmarkHealthOverhead(b *testing.B) {
 // reduction — the fused end-of-step operator sweep with the full standard
 // spec (moments, histogram, conditional means, flame surface, heat release)
 // — against an unanalysed run of the same problem, and fails if the
-// overhead exceeds the 2% budget the pipeline is designed to (matching
-// BenchmarkObsOverhead and BenchmarkHealthOverhead). When installed but
-// disabled the whole feature costs one nil check and one atomic load per
-// step, which is below benchmark noise by construction.
+// overhead exceeds the 2% budget the pipeline is designed to (methodology:
+// benchCPUOverhead). When installed but disabled the whole feature costs
+// one nil check and one atomic load per step, which is below measurement
+// resolution by construction.
 func BenchmarkAnalysisOverhead(b *testing.B) {
-	const warm, measure, trials = 2, 8, 4
-	newSim := func() (*Simulation, *Problem) {
-		p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 5})
-		if err != nil {
+	benchCPUOverhead(b, "analysis", func() (*Simulation, func(int, float64), func()) {
+		off, _ := newLiftedBenchSim(b)
+		on, p := newLiftedBenchSim(b)
+		if _, err := on.EnableAnalysis(p.StandardAnalysis()); err != nil {
 			b.Fatal(err)
 		}
-		sim, err := p.NewSimulation()
-		if err != nil {
+		if err := on.Subscribe(func(AnalysisRecord) {}); err != nil {
 			b.Fatal(err)
 		}
-		return sim, p
-	}
-	for i := 0; i < b.N; i++ {
-		off, on := math.Inf(1), math.Inf(1)
-		for t := 0; t < trials; t++ {
-			sim, _ := newSim()
-			dt := 0.4 * sim.StableDt()
-			sim.Advance(warm, dt)
-			start := time.Now()
-			sim.Advance(measure, dt)
-			if w := time.Since(start).Seconds(); w < off {
-				off = w
-			}
+		return off, on.Advance, nil
+	})
+}
 
-			sim, p := newSim()
-			dt = 0.4 * sim.StableDt()
-			if _, err := sim.EnableAnalysis(p.StandardAnalysis()); err != nil {
-				b.Fatal(err)
-			}
-			if err := sim.Subscribe(func(AnalysisRecord) {}); err != nil {
-				b.Fatal(err)
-			}
-			sim.Advance(warm, dt)
-			start = time.Now()
-			sim.Advance(measure, dt)
-			if w := time.Since(start).Seconds(); w < on {
-				on = w
-			}
+// --- Spatial cost-map overhead ---
+
+// BenchmarkCostOverhead measures the cost-attribution sampler against an
+// uninstrumented run of the same problem at the default cadence (Every: 1,
+// a reduction every step — the worst case): the chemistry substep proxy
+// piggybacking on the final-stage reaction sweep, the probe's per-tile
+// sample on the first runs of each kernel per window (later runs execute
+// unwrapped; the measured totals come from the always-on region timers),
+// and the end-of-step reduction. The budget is the same 2% every other
+// observability layer holds to (methodology: benchCPUOverhead — this
+// gate is why the harness exists: per-step wall clock on shared runners
+// swings an order of magnitude more than the budget). Installed but
+// disabled, the sampler costs one nil check plus one atomic load per
+// step and one atomic load per plan run, below measurement resolution
+// by construction.
+func BenchmarkCostOverhead(b *testing.B) {
+	benchCPUOverhead(b, "cost-map", func() (*Simulation, func(int, float64), func()) {
+		off, _ := newLiftedBenchSim(b)
+		on, _ := newLiftedBenchSim(b)
+		if _, err := on.EnableCostMaps(CostSpec{Every: 1}); err != nil {
+			b.Fatal(err)
 		}
-		overhead := (on - off) / off * 100
-		b.ReportMetric(off/measure*1e3, "off_ms/step")
-		b.ReportMetric(on/measure*1e3, "on_ms/step")
-		b.ReportMetric(overhead, "overhead_%")
-		if overhead > 2.0 {
-			b.Errorf("analysis overhead %.2f%% exceeds the 2%% budget (off %.3fms on %.3fms per step)",
-				overhead, off/measure*1e3, on/measure*1e3)
+		if err := on.SubscribeCost(func(CostRecord) {}); err != nil {
+			b.Fatal(err)
 		}
-	}
+		return off, on.Advance, nil
+	})
 }

@@ -90,4 +90,18 @@ go test -race -timeout 10m -run 'TestAnalysisBitwiseDeterministicAcrossWorkers|T
 echo "== go test -race -run TestAnalysisSmoke ./cmd/s3d"
 go test -race -timeout 10m -run TestAnalysisSmoke ./cmd/s3d
 
+# Cost gate: the spatial cost maps and load-imbalance analytics under the
+# race detector (collector, fold, LPT what-if), the determinism pin (a
+# decomposed run's cost.jsonl must be byte-identical at 1 and 4 workers),
+# the live-endpoint test (/cost document, cost_* gauges, /fields roles),
+# and the overhead budget: <=2% with cost maps enabled at Every:1, one
+# atomic load per run disabled (CPU-time paired-median gate; run without
+# -race, which would distort the on/off ratio's denominator).
+echo "== go test -race ./internal/cost"
+go test -race -timeout 10m ./internal/cost
+echo "== go test -race -run 'TestCostBitwiseDeterministicAcrossWorkers|TestCostLiveEndpoints' ."
+go test -race -timeout 10m -run 'TestCostBitwiseDeterministicAcrossWorkers|TestCostLiveEndpoints' .
+echo "== go test -run xxx -bench BenchmarkCostOverhead -benchtime 1x ."
+go test -timeout 15m -run xxx -bench BenchmarkCostOverhead -benchtime 1x .
+
 echo "CHECK OK"

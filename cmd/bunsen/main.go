@@ -22,6 +22,7 @@ import (
 
 	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/chem"
+	"github.com/s3dgo/s3d/internal/cost"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/insitu"
@@ -56,6 +57,8 @@ func main() {
 	flightRec := flag.String("flightrec", "", "flight-recorder bundle root; per-case bundles land in <dir>/caseA… (default <out>/health when -health)")
 	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline per case; records land in per-case JSONL files (case letter inserted before the extension)")
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
+	costPath := flag.String("cost", "", "enable the spatial cost-attribution sampler per case; records land in per-case JSONL files (case letter inserted before the extension)")
+	costEvery := flag.Int("cost-every", 1, "cost reduction cadence in steps")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (bitwise interchangeable)")
 	precision := flag.String("precision", "", "per-field storage policy: strict | mixed")
 	flag.Parse()
@@ -81,7 +84,7 @@ func main() {
 	}
 	if *surface || *gradc || all {
 		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr, *profileDir, *flightRec,
-			*analysisPath, *analysisEvery)
+			*analysisPath, *analysisEvery, *costPath, *costEvery)
 	}
 }
 
@@ -164,7 +167,7 @@ func printTable1(lam flame1d.Properties) {
 }
 
 func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr, profileDir, flightRec string,
-	analysisPath string, analysisEvery int) {
+	analysisPath string, analysisEvery int, costPath string, costEvery int) {
 	var machines []perf.Machine
 	if profileDir != "" {
 		machines = s3d.ProfileMachines()
@@ -207,6 +210,19 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 				log.Fatal(err)
 			}
 			if err := sim.Subscribe(astore.Sink()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// The cost sampler too, so the probe mounts /cost per case.
+		var cstore *cost.Store
+		if costPath != "" {
+			if _, err := sim.EnableCostMaps(s3d.CostSpec{Every: costEvery}); err != nil {
+				log.Fatal(err)
+			}
+			if cstore, err = s3d.NewCostStore(casePath(costPath, id)); err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.SubscribeCost(cstore.Sink()); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -276,6 +292,15 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 				log.Fatal(err)
 			}
 			fmt.Printf("  wrote analysis records to %s\n", casePath(analysisPath, id))
+		}
+		if cstore != nil {
+			if err := cstore.Err(); err != nil {
+				fmt.Printf("  cost store dropped records: %v\n", err)
+			}
+			if err := cstore.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote cost records to %s\n", casePath(costPath, id))
 		}
 		if profiler != nil {
 			dir := filepath.Join(profileDir, fmt.Sprintf("case%c", id))

@@ -42,6 +42,8 @@ func main() {
 	flightRec := flag.String("flightrec", "", "flight-recorder bundle directory (default <out>/health when -health)")
 	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline and append its records (JSONL) to this file")
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
+	costPath := flag.String("cost", "", "enable the spatial cost-attribution sampler and append its records (JSONL) to this file")
+	costEvery := flag.Int("cost-every", 1, "cost reduction cadence in steps")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (bitwise interchangeable)")
 	precision := flag.String("precision", "", "per-field storage policy: strict | mixed")
 	flag.Parse()
@@ -100,6 +102,28 @@ func main() {
 			fmt.Printf("wrote analysis records to %s\n", *analysisPath)
 		}()
 		if err := sim.Subscribe(store.Sink()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The cost sampler too, so the probe mounts /cost and the cost_* gauges.
+	if *costPath != "" {
+		if _, err := sim.EnableCostMaps(s3d.CostSpec{Every: *costEvery}); err != nil {
+			log.Fatal(err)
+		}
+		store, err := s3d.NewCostStore(*costPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := store.Err(); err != nil {
+				fmt.Printf("cost store dropped records: %v\n", err)
+			}
+			if err := store.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote cost records to %s\n", *costPath)
+		}()
+		if err := sim.SubscribeCost(store.Sink()); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/cost"
 	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/pario"
@@ -55,6 +56,8 @@ func main() {
 	injectNaN := flag.Int("inject-nan", 0, "plant a NaN in the conserved energy at the start of step N (watchdog test hook; implies -health)")
 	analysisPath := flag.String("analysis", "", "enable the in-situ science-reduction pipeline and append its records (JSONL) to this file")
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
+	costPath := flag.String("cost", "", "enable the spatial cost-attribution sampler and append its records (JSONL) to this file")
+	costEvery := flag.Int("cost-every", 1, "cost reduction cadence in steps")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (e.g. rk_update=blocked,diff=generic); bitwise interchangeable")
 	precision := flag.String("precision", "", "per-field storage policy: strict (all float64) | mixed (float32 gradients/transport, float64 compute)")
 	flag.Parse()
@@ -88,7 +91,7 @@ func main() {
 
 	if *ranks != "" {
 		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport, *profileDir,
-			*healthOn, *flightRec, *injectNaN, *analysisPath, *analysisEvery)
+			*healthOn, *flightRec, *injectNaN, *analysisPath, *analysisEvery, *costPath, *costEvery)
 		return
 	}
 	sim, err := prob.NewSimulation()
@@ -112,6 +115,12 @@ func main() {
 	if *analysisPath != "" {
 		store := enableAnalysis(sim, prob, *analysisPath, *analysisEvery)
 		defer closeAnalysisStore(store, *analysisPath)
+	}
+	// And the cost sampler: enabled before StartTelemetry so the probe
+	// mounts /cost and the cost_* gauges.
+	if *costPath != "" {
+		store := enableCost(sim, *costPath, *costEvery)
+		defer closeCostStore(store, *costPath)
 	}
 	if *resume != "" {
 		in, err := os.Open(*resume)
@@ -242,6 +251,33 @@ func closeAnalysisStore(store *insitu.Store, path string) {
 	fmt.Printf("wrote analysis records to %s\n", path)
 }
 
+// enableCost turns on the spatial cost-attribution sampler and streams
+// every deterministic record into a JSONL store at path.
+func enableCost(sim *s3d.Simulation, path string, every int) *cost.Store {
+	if _, err := sim.EnableCostMaps(s3d.CostSpec{Every: every}); err != nil {
+		log.Fatal(err)
+	}
+	store, err := s3d.NewCostStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.SubscribeCost(store.Sink()); err != nil {
+		log.Fatal(err)
+	}
+	return store
+}
+
+// closeCostStore flushes the store and reports any dropped appends.
+func closeCostStore(store *cost.Store, path string) {
+	if err := store.Err(); err != nil {
+		fmt.Printf("cost store %s dropped records: %v\n", path, err)
+	}
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote cost records to %s\n", path)
+}
+
 func writeAndRecord(ckpt *checkpointer, sim *s3d.Simulation, probe *s3d.Probe) {
 	paths, err := ckpt.write(sim)
 	if err != nil {
@@ -295,7 +331,7 @@ func buildProblem(name string, nx, ny, nz int) *s3d.Problem {
 }
 
 func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool, profileDir string,
-	healthOn bool, flightRec string, injectNaN int, analysisPath string, analysisEvery int) {
+	healthOn bool, flightRec string, injectNaN int, analysisPath string, analysisEvery int, costPath string, costEvery int) {
 	var dims [3]int
 	if n, err := fmt.Sscanf(strings.ToLower(ranks), "%dx%dx%d", &dims[0], &dims[1], &dims[2]); n != 3 || err != nil {
 		log.Fatalf("bad -ranks %q (want e.g. 2x2x1)", ranks)
@@ -349,6 +385,24 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 				}
 				defer closeAnalysisStore(store, analysisPath)
 				if err := r.Subscribe(store.Sink()); err != nil {
+					panic(err)
+				}
+			}
+		}
+		// The cost sampler is collective for the same reason: every rank
+		// enables the identical cadence; only rank 0 subscribes the store
+		// (the ordered fold makes every rank's record bitwise identical).
+		if costPath != "" {
+			if _, err := r.EnableCostMaps(s3d.CostSpec{Every: costEvery}); err != nil {
+				panic(err)
+			}
+			if r.Rank == 0 {
+				store, err := s3d.NewCostStore(costPath)
+				if err != nil {
+					panic(err)
+				}
+				defer closeCostStore(store, costPath)
+				if err := r.SubscribeCost(store.Sink()); err != nil {
 					panic(err)
 				}
 			}

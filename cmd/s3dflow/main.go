@@ -131,6 +131,20 @@ func produce(c *workflow.Cluster, dumps, steps int) {
 	if err := sim.Subscribe(astore.Sink()); err != nil {
 		log.Fatal(err)
 	}
+	// Load-balance lane: the cost sampler's deterministic records land in
+	// the dashboard directory too, where BuildDashboard reads them as the
+	// BalanceLane.
+	if _, err := sim.EnableCostMaps(s3d.CostSpec{Every: steps}); err != nil {
+		log.Fatal(err)
+	}
+	cstore, err := s3d.NewCostStore(filepath.Join(c.Dashboard, "cost.jsonl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cstore.Close()
+	if err := sim.SubscribeCost(cstore.Sink()); err != nil {
+		log.Fatal(err)
+	}
 	dt := 0.4 * sim.StableDt()
 	for d := 1; d <= dumps; d++ {
 		sim.Advance(steps, dt)

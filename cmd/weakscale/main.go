@@ -5,7 +5,12 @@
 //	figure 2: the per-region exclusive-time breakdown of XT3 vs XT4 ranks
 //	          in a hybrid execution (-breakdown);
 //	figure 3: the predicted average cost when the XT3 ranks carry a reduced
-//	          50×50×40 block (-balance).
+//	          50×50×40 block (-balance);
+//	measured: the figure-3 companion from a real run (-measured) — a small
+//	          decomposed reacting lifted-jet DNS with the spatial cost
+//	          sampler on, reporting each kernel's tile-cost imbalance with
+//	          the greedy re-tiling what-if, and each rank's chemistry load
+//	          with the rebalancing headroom (results/fig3_balance.csv).
 //
 // Output is a CSV-like table on stdout.
 package main
@@ -13,14 +18,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"sort"
+	"sync"
 
+	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/perf"
 )
 
 func main() {
 	breakdown := flag.Bool("breakdown", false, "print the figure-2 region breakdown")
 	balance := flag.Bool("balance", false, "print the figure-3 hybrid balance curve")
+	measured := flag.Bool("measured", false, "run a small decomposed reacting DNS with cost maps and print the measured load-balance table")
+	steps := flag.Int("steps", 30, "time steps for the -measured run")
 	flag.Parse()
 
 	switch {
@@ -28,6 +38,8 @@ func main() {
 		printBreakdown()
 	case *balance:
 		printBalance()
+	case *measured:
+		printMeasured(*steps)
 	default:
 		printWeakScaling()
 	}
@@ -74,4 +86,88 @@ func printBalance() {
 	fmt.Println("# 2007 Jaguar configuration: 46% XT4 nodes")
 	at := perf.HybridBalance([]float64{0.46})
 	fmt.Printf("0.46,%.2f  # paper predicts 61 µs\n", at[0].CostPerGP*1e6)
+}
+
+// printMeasured is the figure-3 companion measured from a real run: a
+// decomposed reacting lifted-jet DNS with the spatial cost sampler enabled,
+// whose final deterministic record yields each kernel's tile-cost imbalance
+// (with the greedy re-tiling what-if) and each rank's chemistry load. The
+// closing rebalance line is the measured analogue of the figure-3 claim:
+// how much the step would shrink if work were spread evenly.
+func printMeasured(steps int) {
+	const nx, ny = 48, 32
+	dims := [3]int{2, 2, 1}
+	prob, err := s3d.LiftedJetProblem(s3d.LiftedJetOptions{
+		Nx: nx, Ny: ny, Nz: 1, IgnitionKernel: true, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var (
+		mu   sync.Mutex
+		last *s3d.CostRecord
+	)
+	err = s3d.RunDecomposed(prob.Config, dims, func(r *s3d.RankSim) {
+		r.SetInitial(prob.Initial, prob.InitPressure)
+		// Collective: every rank enables the identical cadence (one record,
+		// at the final step); rank 0 keeps the record — the ordered fold
+		// makes every rank's copy bitwise identical anyway.
+		if _, err := r.EnableCostMaps(s3d.CostSpec{Every: steps}); err != nil {
+			panic(err)
+		}
+		if r.Rank == 0 {
+			if err := r.SubscribeCost(func(rec s3d.CostRecord) {
+				mu.Lock()
+				last = &rec
+				mu.Unlock()
+			}); err != nil {
+				panic(err)
+			}
+		}
+		dt := 0.4 * r.StableDtGlobal()
+		r.Advance(steps, dt)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if last == nil {
+		log.Fatal("weakscale: the cost sampler produced no record")
+	}
+	fmt.Printf("# Measured load balance: lifted H2/air jet, %dx%dx1 grid, %dx%dx%d ranks, step %d\n",
+		nx, ny, dims[0], dims[1], dims[2], last.Step)
+	fmt.Println("# (deterministic chemistry-proxy cost maps; see README.md \"Cost maps & load balance\")")
+	fmt.Println("kernel,tiles,imbalance,whatif_workers,whatif_reduction")
+	for _, k := range last.Kernels {
+		fmt.Printf("%s,%d,%.4f,%d,%.4f\n",
+			k.Kernel, k.Tiles, k.Imbalance, k.WhatIf.Workers, k.WhatIf.Reduction)
+	}
+	fmt.Println("rank,chem_cost,share")
+	var total float64
+	for _, v := range last.RankTotals {
+		total += v
+	}
+	for r, v := range last.RankTotals {
+		share := 0.0
+		if total > 0 {
+			share = v / total
+		}
+		fmt.Printf("%d,%.0f,%.4f\n", r, v, share)
+	}
+	// The figure-3 analogue: the step currently waits for the most loaded
+	// rank; perfect rebalancing would cut the chemistry makespan by
+	// 1 − mean/max.
+	maxRank := 0.0
+	for _, v := range last.RankTotals {
+		if v > maxRank {
+			maxRank = v
+		}
+	}
+	mean := total / float64(len(last.RankTotals))
+	headroom := 0.0
+	if maxRank > 0 {
+		headroom = 1 - mean/maxRank
+	}
+	fmt.Printf("rank_imbalance,%.4f\n", last.RankImbalance)
+	fmt.Printf("straggler_rank,%d\n", last.Straggler)
+	fmt.Printf("rebalance_headroom,%.4f  # predicted chemistry makespan cut from even redistribution\n", headroom)
 }

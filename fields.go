@@ -24,7 +24,7 @@ type FieldInfo struct {
 	// accepted by Field, viz field pickers and the in-situ observers.
 	Name string `json:"name"`
 	// Role classifies the field: conserved, register, primitive,
-	// transport, gradient, flux, scratch — or derived for on-demand
+	// transport, gradient, flux, scratch, cost — or derived for on-demand
 	// diagnostics that have no backing storage.
 	Role string `json:"role"`
 	// Species is the species name for per-species fields, "" otherwise.

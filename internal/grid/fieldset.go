@@ -143,6 +143,11 @@ const (
 	RoleFlux
 	// RoleScratch marks reusable working storage.
 	RoleScratch
+	// RoleCost marks an observability cost-density field (per-cell attributed
+	// kernel cost). Cost fields are diagnostics: never checkpointed, never
+	// halo-exchanged, and always full-width so cost records stay bitwise
+	// reproducible under every precision policy.
+	RoleCost
 )
 
 // String returns the role's stable lower-case name (used in /fields JSON).
@@ -162,6 +167,8 @@ func (r Role) String() string {
 		return "flux"
 	case RoleScratch:
 		return "scratch"
+	case RoleCost:
+		return "cost"
 	}
 	return fmt.Sprintf("role(%d)", int(r))
 }

@@ -54,6 +54,7 @@ type Pool struct {
 	// Metric handles are attached after construction (AttachMetrics) and
 	// read by workers, hence the atomic pointers. Nil handles are skipped.
 	busyG  atomic.Pointer[obs.Gauge]
+	pendG  atomic.Pointer[obs.Gauge]
 	tilesC atomic.Pointer[obs.Counter]
 
 	// Per-worker profiler tracks (AttachProfiler): each worker records one
@@ -118,9 +119,14 @@ func (p *Pool) Close() {
 
 // AttachMetrics exports the pool's utilization to a registry:
 //
-//	par.workers       gauge    pool size
-//	par.workers_busy  gauge    workers executing a tile right now
-//	par.tiles_total   counter  tiles executed by pool workers
+//	par.workers        gauge    pool size
+//	par.workers_busy   gauge    workers executing a tile right now
+//	par.tiles_pending  gauge    tiles queued but not yet picked up
+//	par.tiles_total    counter  tiles executed by pool workers
+//
+// workers_busy below par.workers while tiles_pending is zero is starvation
+// (too few tiles, or a straggler holding the barrier); a persistent pending
+// backlog is contention.
 //
 // Safe to call more than once (ranks sharing a pool attach the same
 // registry); the last registry wins.
@@ -130,6 +136,7 @@ func (p *Pool) AttachMetrics(reg *obs.Registry) {
 	}
 	reg.Gauge("par.workers").Set(float64(p.n))
 	p.busyG.Store(reg.Gauge("par.workers_busy"))
+	p.pendG.Store(reg.Gauge("par.tiles_pending"))
 	p.tilesC.Store(reg.Counter("par.tiles_total"))
 }
 
@@ -180,9 +187,21 @@ func (p *Pool) worker(id int) {
 		if g := p.busyG.Load(); g != nil {
 			g.Set(float64(nb))
 		}
+		if g := p.pendG.Load(); g != nil {
+			g.Set(float64(len(p.tasks)))
+		}
 		var sp prof.Span
 		if ts := p.profTracks.Load(); ts != nil {
-			sp = (*ts)[id].Begin(t.label)
+			tr := (*ts)[id]
+			if tr.Recording() {
+				// Tag the span with the tile's coordinates so the timeline
+				// cross-references the spatial cost maps.
+				sp = tr.BeginArgs(t.label, map[string]string{
+					"tile": fmt.Sprintf("%d", t.tile.Index),
+					"lo":   fmt.Sprintf("%d,%d,%d", t.tile.Lo[0], t.tile.Lo[1], t.tile.Lo[2]),
+					"hi":   fmt.Sprintf("%d,%d,%d", t.tile.Hi[0], t.tile.Hi[1], t.tile.Hi[2]),
+				})
+			}
 		}
 		start := time.Now()
 		t.fn(t.tile, id)
@@ -203,7 +222,12 @@ func (p *Pool) worker(id int) {
 }
 
 // submit enqueues one tile; workers drain the channel concurrently.
-func (p *Pool) submit(t task) { p.tasks <- t }
+func (p *Pool) submit(t task) {
+	p.tasks <- t
+	if g := p.pendG.Load(); g != nil {
+		g.Set(float64(len(p.tasks)))
+	}
+}
 
 // The process-wide default pool, built lazily on first use so drivers can
 // size it (SetDefaultWorkers) before any simulation starts.

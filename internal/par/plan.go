@@ -3,6 +3,7 @@ package par
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/s3dgo/s3d/internal/obs"
 )
@@ -63,12 +64,34 @@ func tileOf(r Range, ax, idx int) Tile {
 	return t
 }
 
+// RunRecorder receives the per-tile timings of one plan run. Tile is called
+// concurrently from pool workers (tile indices within a run are distinct, so
+// implementations may write disjoint slots without locking); EndRun is called
+// on the owner goroutine after the run's barrier.
+type RunRecorder interface {
+	Tile(idx, worker int, seconds float64, cells int)
+	EndRun()
+}
+
+// CostProbe attributes per-tile kernel cost (the hook the cost-map sampler
+// installs via SetCost). Armed is the fast path — a single atomic load when
+// the sampler is installed but idle; BeginRun opens a recorder for one run of
+// n tiles under the kernel label, or returns nil to skip that run. Timing a
+// tile costs ~three monotonic clock reads, so probes decline runs they do
+// not need tile detail from (the cost sampler caps tile-timed runs per
+// kernel per window): a declined run executes completely unwrapped.
+type CostProbe interface {
+	Armed() bool
+	BeginRun(label string, tiles int) RunRecorder
+}
+
 // Plan schedules one block's kernels over a pool. A Plan has a single
 // owner goroutine (the rank driving the block); only the pool behind it is
 // shared. Reduction scratch and metric handles are therefore unguarded.
 type Plan struct {
 	pool *Pool
 	red  []float64 // ordered per-tile reduction slots
+	cost CostProbe
 
 	reg      *obs.Registry
 	counters map[string]*obs.Counter // per-kernel tile counters, lazy
@@ -97,6 +120,11 @@ func (pl *Plan) AttachMetrics(reg *obs.Registry) {
 	pl.reg = reg
 	pl.counters = nil
 }
+
+// SetCost installs (or, with nil, removes) the plan's cost probe. Owner-
+// goroutine only; the probe's Armed gate keeps the disabled overhead to one
+// atomic load per run.
+func (pl *Plan) SetCost(p CostProbe) { pl.cost = p }
 
 // count bumps the kernel's tile counter (no-op without a registry).
 func (pl *Plan) count(label string, tiles int) {
@@ -136,6 +164,17 @@ func (pl *Plan) RunFrozen(label string, r Range, frozen int, fn func(t Tile, wor
 		n = r.Ext(ax)
 	}
 	pl.count(label, n)
+	if pl.cost != nil && pl.cost.Armed() {
+		if rec := pl.cost.BeginRun(label, n); rec != nil {
+			inner := fn
+			fn = func(t Tile, w int) {
+				start := time.Now()
+				inner(t, w)
+				rec.Tile(t.Index, w, time.Since(start).Seconds(), t.Ext(0)*t.Ext(1)*t.Ext(2))
+			}
+			defer rec.EndRun()
+		}
+	}
 	if pl.pool.n == 1 || n == 1 {
 		// Serial fast path: execute the same tile decomposition inline on
 		// the owner, keeping results bitwise identical to the pooled path.

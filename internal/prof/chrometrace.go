@@ -77,6 +77,7 @@ func WriteChromeTraceFrom(w io.Writer, snaps []TrackSnapshot) error {
 				Dur:  float64(e.Dur) / 1e3,
 				Pid:  pid,
 				Tid:  tid,
+				Args: e.Args,
 			})
 		}
 	}

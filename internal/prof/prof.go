@@ -102,11 +102,14 @@ type pathNode struct {
 }
 
 // Event is one completed span on a track's timeline. Start is nanoseconds
-// since the profiler epoch; Path indexes the track's node table.
+// since the profiler epoch; Path indexes the track's node table. Args are
+// optional key/value annotations (tile coordinates on worker spans) carried
+// through to the Chrome trace exporter; nil for plain spans.
 type Event struct {
 	Path  int32
 	Start int64
 	Dur   int64
+	Args  map[string]string
 }
 
 // Track is one timeline: a call-path node table, the owner goroutine's open
@@ -134,10 +137,23 @@ func (t *Track) Name() string { return t.name }
 // Group returns the track's layout group (GroupRank or GroupWorker).
 func (t *Track) Group() string { return t.group }
 
+// Recording reports whether spans begun now would record: the track is
+// attached to an enabled profiler. Callers building span annotations
+// (BeginArgs) should gate the allocation on it.
+func (t *Track) Recording() bool {
+	return t != nil && t.p.on.Load()
+}
+
 // Begin opens a nested span named after a region. It is safe (and free) on
 // a nil track; with a disabled profiler it costs one atomic load. The
 // returned Span must be closed with End on the same goroutine.
 func (t *Track) Begin(name string) Span {
+	return t.BeginArgs(name, nil)
+}
+
+// BeginArgs is Begin with key/value annotations attached to the recorded
+// event (rendered as the args field of the Chrome trace span).
+func (t *Track) BeginArgs(name string, args map[string]string) Span {
 	if t == nil || !t.p.on.Load() {
 		return Span{}
 	}
@@ -154,7 +170,7 @@ func (t *Track) Begin(name string) Span {
 	}
 	t.mu.Unlock()
 	t.stack = append(t.stack, id)
-	return Span{t: t, path: id, start: t.p.now()}
+	return Span{t: t, path: id, start: t.p.now(), args: args}
 }
 
 // Span is one open region on a track. The zero Span (from a nil or disabled
@@ -163,6 +179,7 @@ type Span struct {
 	t     *Track
 	path  int32
 	start int64
+	args  map[string]string
 }
 
 // End closes the span and records its timeline event. Unbalanced inner
@@ -181,7 +198,7 @@ func (s Span) End() {
 		}
 	}
 	t.mu.Lock()
-	t.events = append(t.events, Event{Path: s.path, Start: s.start, Dur: end - s.start})
+	t.events = append(t.events, Event{Path: s.path, Start: s.start, Dur: end - s.start, Args: s.args})
 	t.mu.Unlock()
 }
 

@@ -96,13 +96,7 @@ func ConstPressure(m *chem.Mechanism, T0, p float64, Y0 []float64, tEnd float64,
 		deriv(T, y, k1)
 		// Rate-limited step size: cap the relative change of T and of any
 		// species above a floor.
-		limit := math.Abs(k1[ns]) / (opt.relChange() * T)
-		for i := 0; i < ns; i++ {
-			ref := math.Max(y[i], 1e-6)
-			if l := math.Abs(k1[i]) / (opt.relChange() * ref); l > limit {
-				limit = l
-			}
-		}
+		limit := SubstepRate(T, y, k1[:ns], k1[ns], opt.relChange())
 		if limit > 0 {
 			dt = 1 / limit
 		} else {
@@ -154,6 +148,29 @@ func ConstPressure(m *chem.Mechanism, T0, p float64, Y0 []float64, tEnd float64,
 		}
 	}
 	return State{Time: t, T: T, P: p, Y: y}, nil
+}
+
+// SubstepRate is the reactor's step-size controller as a pure function: the
+// reciprocal of the largest step (1/dt) that keeps the relative change of T
+// and of every species above a 1e-6 floor below relChange, given the state
+// (T, y) and its time derivatives dydt (= Wᵢω̇ᵢ/ρ) and dTdt (= q/(ρ·cp)).
+// A relChange ≤ 0 selects the reactor default (0.02). Besides driving
+// ConstPressure, it serves as the deterministic chemistry-stiffness proxy of
+// the cost-attribution sampler: ceil(dt·rate) estimates how many reactor
+// substeps a cell's state would demand, a pure function of the state that is
+// reproducible across worker counts where wall-clock timings are not.
+func SubstepRate(T float64, y, dydt []float64, dTdt, relChange float64) float64 {
+	if relChange <= 0 {
+		relChange = 0.02
+	}
+	limit := math.Abs(dTdt) / (relChange * T)
+	for i := range y {
+		ref := math.Max(y[i], 1e-6)
+		if l := math.Abs(dydt[i]) / (relChange * ref); l > limit {
+			limit = l
+		}
+	}
+	return limit
 }
 
 // IgnitionDelay returns the ignition delay of an adiabatic constant-pressure

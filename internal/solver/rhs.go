@@ -1,10 +1,12 @@
 package solver
 
 import (
+	"github.com/s3dgo/s3d/internal/cost"
 	"github.com/s3dgo/s3d/internal/deriv"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/kernels"
 	"github.com/s3dgo/s3d/internal/par"
+	"github.com/s3dgo/s3d/internal/reactor"
 	"github.com/s3dgo/s3d/internal/thermo"
 )
 
@@ -408,9 +410,15 @@ func (b *Block) chemSource() {
 	defer b.beginRegion("REACTION_RATE_BOUNDS").End()
 	ns := b.ns
 	species := b.mech.Set.Species
+	// On the final RK stage of a cost-due step the deterministic chemistry
+	// work proxy piggybacks on this sweep: reactor.SubstepRate on the cell
+	// state yields the substep demand an adaptive integrator would pay — a
+	// pure function of the state, bitwise reproducible at any worker count,
+	// written to the cost_chem map and summed into ordered per-tile slots.
+	doCost := b.collectCost
 	tile := func(t par.Tile, worker int, collect bool) float64 {
 		ws := &b.ws[worker]
-		var hrr float64
+		var hrr, tileCost float64
 		for k := t.Lo[2]; k < t.Hi[2]; k++ {
 			for j := t.Lo[1]; j < t.Hi[1]; j++ {
 				for i := t.Lo[0]; i < t.Hi[0]; i++ {
@@ -426,8 +434,29 @@ func (b *Block) chemSource() {
 					if collect {
 						hrr += ws.mech.HeatReleaseRate(T, ws.wdot) * b.cellVol(i, j, k)
 					}
+					if doCost {
+						// Species relative-change limit only: y and dydt fall
+						// out of the concentrations and rates this sweep just
+						// computed. The temperature term would need cp and
+						// enthalpy polynomial sweeps — far too heavy for a
+						// piggyback, and the stiff-radical species limits
+						// dominate it anyway (the 1e-6 mass-fraction floor
+						// makes trace radicals the binding constraint).
+						inv := 1 / rho
+						for n := 0; n < ns; n++ {
+							ws.yw[n] = ws.cw[n] * species[n].W * inv
+							ws.hw[n] = species[n].W * ws.wdot[n] * inv
+						}
+						rate := reactor.SubstepRate(T, ws.yw, ws.hw, 0, 0)
+						s := cost.Substeps(rate, b.costDt)
+						b.costChemF.Set(i, j, k, s)
+						tileCost += s
+					}
 				}
 			}
+		}
+		if doCost {
+			b.cSlots[t.Index] = tileCost
 		}
 		return hrr
 	}

@@ -15,10 +15,11 @@ import (
 
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/comm"
+	"github.com/s3dgo/s3d/internal/cost"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/health"
-	"github.com/s3dgo/s3d/internal/kernels"
 	"github.com/s3dgo/s3d/internal/insitu"
+	"github.com/s3dgo/s3d/internal/kernels"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/par"
 	"github.com/s3dgo/s3d/internal/perf"
@@ -290,6 +291,23 @@ type Block struct {
 	aSub     [][][]float64 // aSub[tile][op] = that op's slot window in the row
 	aAcc     []float64     // merged vector (+1 trailing heat-release slot)
 	aDue     bool          // this step ends in an analysis reduction
+
+	// Cost-attribution sampler (see cost.go). costC may stay nil; a
+	// disabled collector costs StepChecked one atomic load per step. The
+	// deterministic chemistry work proxy piggybacks on the final RK stage's
+	// chemistry sweep into ordered per-tile slots (cSlots) and the cost_chem
+	// field; costStep folds them cross-rank and publishes.
+	costC       *cost.Collector
+	cSlots      []float64 // ordered per-tile chemistry proxy sums
+	cFold       []float64 // cross-rank fold vector (cost.FoldLen)
+	cRegionBase []float64 // region-timer seconds at window open, per kernel
+	costDue     bool      // this step ends in a cost reduction
+	collectCost bool      // true during the final RK stage of a due step
+	costDt      float64   // dt of the step being sampled (substep conversion)
+
+	// Spatial cost-density fields (registered unconditionally; zero unless
+	// cost maps are enabled).
+	costChemF, costDensF *grid.Field3
 }
 
 // kernScratch is one worker's private scratch for the tiled kernels: the
@@ -588,6 +606,12 @@ func (b *Block) registerFields() {
 	nt1ID := fs.Register(grid.FieldMeta{Name: "naive_t1", Role: grid.RoleScratch, Species: -1})
 	nt2ID := fs.Register(grid.FieldMeta{Name: "naive_t2", Role: grid.RoleScratch, Species: -1})
 
+	// Spatial cost-density maps (see cost.go), registered unconditionally so
+	// the registry ABI — and with it the checkpoint and halo layouts, which
+	// exclude them — is identical whether or not cost maps are enabled.
+	costChemID := fs.Register(grid.FieldMeta{Name: "cost_chem", Role: grid.RoleCost, Species: -1})
+	costDensID := fs.Register(grid.FieldMeta{Name: "cost_density", Role: grid.RoleCost, Species: -1})
+
 	fs.Build()
 
 	b.Q = make([]*grid.Field3, b.nvar)
@@ -631,6 +655,7 @@ func (b *Block) registerFields() {
 	}
 	b.scratchF = fs.Field(scratchID)
 	b.naiveT1, b.naiveT2 = fs.Field(nt1ID), fs.Field(nt2ID)
+	b.costChemF, b.costDensF = fs.Field(costChemID), fs.Field(costDensID)
 
 	b.qD = make([][]float64, b.nvar)
 	b.fluxD = make([][3][]float64, b.nvar)

@@ -47,6 +47,12 @@ func (b *Block) StepChecked(dt float64) error {
 	b.inStep = true
 	// One atomic load per step when analysis is installed but disabled.
 	b.aDue = b.analysis != nil && b.analysis.Due(b.Step+1)
+	// Likewise for the cost sampler; a due step opens the wall-clock
+	// collection window so the plan's probe samples this step's tiles.
+	b.costDue = b.costC != nil && b.costC.Due(b.Step+1)
+	if b.costDue {
+		b.costArm(dt)
+	}
 	scheme := rk.RK46NL
 	nStages := scheme.Stages()
 	if len(b.StageWall) != nStages {
@@ -72,6 +78,8 @@ func (b *Block) StepChecked(dt float64) error {
 		if b.collectHRR {
 			b.hrrAcc = 0
 		}
+		// The chemistry work proxy piggybacks on the same final-stage sweep.
+		b.collectCost = b.costDue && rhsCall == nStages
 		rhsSpan := b.profT.Begin("RHS")
 		b.computeRHS(stageTime)
 		rhsSpan.End()
@@ -82,6 +90,7 @@ func (b *Block) StepChecked(dt float64) error {
 		b.StageWall[stage] = time.Since(stageStart).Seconds()
 	})
 	b.collectHRR = false
+	b.collectCost = false
 	b.Step++
 	b.Time += dt
 	if fe := b.cfg.FilterEvery; fe > 0 && b.Step%fe == 0 {
@@ -98,8 +107,10 @@ func (b *Block) StepChecked(dt float64) error {
 	}
 	// Analysis reduces only after a clean health check: healthCheck's
 	// status word guarantees every rank returns from the same step, so the
-	// reduction's collective matches across ranks.
+	// reduction's collective matches across ranks. The cost reduction
+	// follows for the same reason.
 	b.analysisStep()
+	b.costStep()
 	return nil
 }
 

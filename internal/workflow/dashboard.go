@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/s3dgo/s3d/internal/cost"
 	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/viz"
@@ -58,6 +59,13 @@ type DashboardStatus struct {
 	// reduced, how often, and the final record's scalar statistics. Nil
 	// when no analysis store has been copied in.
 	Analysis *AnalysisLane `json:"analysis,omitempty"`
+
+	// Balance is the load-imbalance lane (dashboard/cost.jsonl, the cost
+	// sampler's store dropped in by the producer): per-kernel tile-cost
+	// imbalance, the greedy re-tiling what-if, and the cross-rank straggler
+	// verdict of the final record. Nil when no cost store has been copied
+	// in.
+	Balance *BalanceLane `json:"balance,omitempty"`
 }
 
 // FieldEntry mirrors one entry of the fields.json inventory — the field
@@ -145,6 +153,61 @@ func analysisLane(recs []insitu.Record) *AnalysisLane {
 		lane.Products = append(lane.Products, pr.Name)
 		for k, v := range pr.Scalars {
 			lane.Scalars[pr.Name+"."+k] = v
+		}
+	}
+	return lane
+}
+
+// BalanceKernel is one kernel's row in the balance lane.
+type BalanceKernel struct {
+	Kernel          string  `json:"kernel"`
+	Imbalance       float64 `json:"imbalance"`        // max/mean tile cost
+	WhatIfReduction float64 `json:"whatif_reduction"` // predicted makespan cut
+}
+
+// BalanceLane surfaces the spatial cost sampler on the dashboard page: the
+// per-kernel max/mean tile-cost ratios of the final record, the kernel the
+// greedy re-tiling what-if would help most, and the cross-rank straggler —
+// the "where is the time going, and would re-tiling fix it" glance.
+type BalanceLane struct {
+	Records       int             `json:"records"`
+	LastStep      int             `json:"last_step"`
+	RankImbalance float64         `json:"rank_imbalance"`
+	Straggler     int             `json:"straggler"`
+	Kernels       []BalanceKernel `json:"kernels,omitempty"`
+	// WorstKernel is the kernel with the highest tile-cost imbalance;
+	// BestReduction the largest predicted makespan reduction any kernel's
+	// what-if estimator reports.
+	WorstKernel   string  `json:"worst_kernel,omitempty"`
+	BestReduction float64 `json:"best_reduction"`
+}
+
+// balanceLane builds the lane from a loaded cost store; nil when the store
+// is empty.
+func balanceLane(recs []cost.Record) *BalanceLane {
+	if len(recs) == 0 {
+		return nil
+	}
+	last := recs[len(recs)-1]
+	lane := &BalanceLane{
+		Records:       len(recs),
+		LastStep:      last.Step,
+		RankImbalance: last.RankImbalance,
+		Straggler:     last.Straggler,
+	}
+	worst := 0.0
+	for _, k := range last.Kernels {
+		lane.Kernels = append(lane.Kernels, BalanceKernel{
+			Kernel:          k.Kernel,
+			Imbalance:       k.Imbalance,
+			WhatIfReduction: k.WhatIf.Reduction,
+		})
+		if k.Imbalance > worst {
+			worst = k.Imbalance
+			lane.WorstKernel = k.Kernel
+		}
+		if k.WhatIf.Reduction > lane.BestReduction {
+			lane.BestReduction = k.WhatIf.Reduction
 		}
 	}
 	return lane
@@ -264,6 +327,12 @@ func BuildDashboard(c *Cluster, jobs []Job) (*DashboardStatus, error) {
 	// next to the CSV; its absence is not an error.
 	if recs, err := insitu.ReadAnalysis(filepath.Join(c.Dashboard, "analysis.jsonl")); err == nil {
 		status.Analysis = analysisLane(recs)
+	}
+
+	// And the cost sampler's store: the producer drops cost.jsonl next to
+	// the CSV; its absence is not an error.
+	if recs, err := cost.ReadCost(filepath.Join(c.Dashboard, "cost.jsonl")); err == nil {
+		status.Balance = balanceLane(recs)
 	}
 
 	for _, name := range status.Variables {

@@ -132,6 +132,14 @@ func (s *Simulation) StartTelemetry(opt TelemetryOptions) (*Probe, error) {
 			p.mon.Handle("/analysis", ap.Handler())
 		}
 	}
+	// And a cost collector enabled before StartTelemetry: the cost_* gauges
+	// in /metrics(.prom) and the live /cost document.
+	if cc := s.blk.Cost(); cc != nil {
+		cc.AttachMetrics(p.reg)
+		if p.mon != nil {
+			p.mon.Handle("/cost", cc.Handler())
+		}
+	}
 	return p, nil
 }
 
