@@ -104,4 +104,22 @@ go test -race -timeout 10m -run 'TestCostBitwiseDeterministicAcrossWorkers|TestC
 echo "== go test -run xxx -bench BenchmarkCostOverhead -benchtime 1x ."
 go test -timeout 15m -run xxx -bench BenchmarkCostOverhead -benchtime 1x .
 
+# Critical-path gate: the wait-state analyzer and the shared JSONL store
+# under the race detector (matching, classification, backward walk, blame,
+# deposit barrier, abort unblocking), the structural determinism pin (the
+# record's operation census and match completeness must agree across worker
+# counts), the live-endpoint test (/critpath record, critpath_* gauges),
+# the race-mode CLI smoke (a 2-rank run with an injected straggler must
+# blame the slowed rank end to end), and the overhead budget: <=2% armed
+# at Every:1, one atomic load per step disarmed (run without -race, which
+# would distort the on/off ratio's denominator).
+echo "== go test -race ./internal/critpath ./internal/jsonl"
+go test -race -timeout 10m ./internal/critpath ./internal/jsonl
+echo "== go test -race -run 'TestCritPathStructureDeterministicAcrossWorkers|TestCritPathLiveEndpoints' ."
+go test -race -timeout 10m -run 'TestCritPathStructureDeterministicAcrossWorkers|TestCritPathLiveEndpoints' .
+echo "== go test -race -run TestCritPathSmoke ./cmd/s3d"
+go test -race -timeout 10m -run TestCritPathSmoke ./cmd/s3d
+echo "== go test -run xxx -bench BenchmarkCritPathOverhead -benchtime 1x ."
+go test -timeout 15m -run xxx -bench BenchmarkCritPathOverhead -benchtime 1x .
+
 echo "CHECK OK"

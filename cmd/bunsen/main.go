@@ -23,6 +23,7 @@ import (
 	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/cost"
+	"github.com/s3dgo/s3d/internal/critpath"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/insitu"
@@ -59,6 +60,8 @@ func main() {
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
 	costPath := flag.String("cost", "", "enable the spatial cost-attribution sampler per case; records land in per-case JSONL files (case letter inserted before the extension)")
 	costEvery := flag.Int("cost-every", 1, "cost reduction cadence in steps")
+	critPath := flag.String("critpath", "", "enable the wait-state & critical-path analyzer per case; records land in per-case JSONL files (case letter inserted before the extension)")
+	critEvery := flag.Int("critpath-every", 1, "critical-path analysis cadence in steps")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (bitwise interchangeable)")
 	precision := flag.String("precision", "", "per-field storage policy: strict | mixed")
 	flag.Parse()
@@ -84,7 +87,7 @@ func main() {
 	}
 	if *surface || *gradc || all {
 		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr, *profileDir, *flightRec,
-			*analysisPath, *analysisEvery, *costPath, *costEvery)
+			*analysisPath, *analysisEvery, *costPath, *costEvery, *critPath, *critEvery)
 	}
 }
 
@@ -167,7 +170,7 @@ func printTable1(lam flame1d.Properties) {
 }
 
 func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr, profileDir, flightRec string,
-	analysisPath string, analysisEvery int, costPath string, costEvery int) {
+	analysisPath string, analysisEvery int, costPath string, costEvery int, critPath string, critEvery int) {
 	var machines []perf.Machine
 	if profileDir != "" {
 		machines = s3d.ProfileMachines()
@@ -223,6 +226,19 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 				log.Fatal(err)
 			}
 			if err := sim.SubscribeCost(cstore.Sink()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// And the critpath analyzer, so the probe mounts /critpath per case.
+		var cpstore *critpath.Store
+		if critPath != "" {
+			if err := sim.EnableCritPath(s3d.NewCritPathAnalyzer(s3d.CritPathSpec{Every: critEvery})); err != nil {
+				log.Fatal(err)
+			}
+			if cpstore, err = s3d.NewCritPathStore(casePath(critPath, id)); err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.SubscribeCritPath(cpstore.Sink()); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -301,6 +317,15 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 				log.Fatal(err)
 			}
 			fmt.Printf("  wrote cost records to %s\n", casePath(costPath, id))
+		}
+		if cpstore != nil {
+			if err := cpstore.Err(); err != nil {
+				fmt.Printf("  critpath store dropped records: %v\n", err)
+			}
+			if err := cpstore.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote critpath records to %s\n", casePath(critPath, id))
 		}
 		if profiler != nil {
 			dir := filepath.Join(profileDir, fmt.Sprintf("case%c", id))

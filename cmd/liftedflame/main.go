@@ -44,6 +44,8 @@ func main() {
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
 	costPath := flag.String("cost", "", "enable the spatial cost-attribution sampler and append its records (JSONL) to this file")
 	costEvery := flag.Int("cost-every", 1, "cost reduction cadence in steps")
+	critPath := flag.String("critpath", "", "enable the wait-state & critical-path analyzer and append its records (JSONL) to this file")
+	critEvery := flag.Int("critpath-every", 1, "critical-path analysis cadence in steps")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (bitwise interchangeable)")
 	precision := flag.String("precision", "", "per-field storage policy: strict | mixed")
 	flag.Parse()
@@ -124,6 +126,29 @@ func main() {
 			fmt.Printf("wrote cost records to %s\n", *costPath)
 		}()
 		if err := sim.SubscribeCost(store.Sink()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// And the critpath analyzer, so the probe mounts /critpath and the
+	// critpath_* gauges (serial run: per-step blame, no message edges).
+	if *critPath != "" {
+		if err := sim.EnableCritPath(s3d.NewCritPathAnalyzer(s3d.CritPathSpec{Every: *critEvery})); err != nil {
+			log.Fatal(err)
+		}
+		store, err := s3d.NewCritPathStore(*critPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := store.Err(); err != nil {
+				fmt.Printf("critpath store dropped records: %v\n", err)
+			}
+			if err := store.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote critpath records to %s\n", *critPath)
+		}()
+		if err := sim.SubscribeCritPath(store.Sink()); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -16,15 +16,18 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/s3dgo/s3d"
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/cost"
+	"github.com/s3dgo/s3d/internal/critpath"
 	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/pario"
@@ -58,6 +61,9 @@ func main() {
 	analysisEvery := flag.Int("analysis-every", 1, "analysis reduction cadence in steps")
 	costPath := flag.String("cost", "", "enable the spatial cost-attribution sampler and append its records (JSONL) to this file")
 	costEvery := flag.Int("cost-every", 1, "cost reduction cadence in steps")
+	critPath := flag.String("critpath", "", "enable the cross-rank wait-state & critical-path analyzer and append its records (JSONL) to this file; a Chrome-trace overlay lands next to it as critpath_trace.json")
+	critEvery := flag.Int("critpath-every", 1, "critical-path analysis cadence in steps")
+	straggle := flag.Duration("straggle", 0, "slow one rank's chemistry by this much per RK stage (the highest rank in decomposed runs; critpath/cost validation hook)")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (e.g. rk_update=blocked,diff=generic); bitwise interchangeable")
 	precision := flag.String("precision", "", "per-field storage policy: strict (all float64) | mixed (float32 gradients/transport, float64 compute)")
 	flag.Parse()
@@ -91,7 +97,8 @@ func main() {
 
 	if *ranks != "" {
 		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport, *profileDir,
-			*healthOn, *flightRec, *injectNaN, *analysisPath, *analysisEvery, *costPath, *costEvery)
+			*healthOn, *flightRec, *injectNaN, *analysisPath, *analysisEvery, *costPath, *costEvery,
+			*critPath, *critEvery, *straggle)
 		return
 	}
 	sim, err := prob.NewSimulation()
@@ -121,6 +128,17 @@ func main() {
 	if *costPath != "" {
 		store := enableCost(sim, *costPath, *costEvery)
 		defer closeCostStore(store, *costPath)
+	}
+	// And the critpath analyzer, same ordering rule; serial runs still get
+	// per-step blame (no message edges, but the step window and regions).
+	if *critPath != "" {
+		critA := s3d.NewCritPathAnalyzer(s3d.CritPathSpec{Every: *critEvery})
+		store := enableCritPath(sim, critA, *critPath)
+		defer closeCritPathStore(store, *critPath)
+		defer writeCritPathOverlay(sim.WriteCritPathTrace, *critPath)
+	}
+	if *straggle > 0 {
+		sim.InjectStraggler(*straggle)
 	}
 	if *resume != "" {
 		in, err := os.Open(*resume)
@@ -278,6 +296,50 @@ func closeCostStore(store *cost.Store, path string) {
 	fmt.Printf("wrote cost records to %s\n", path)
 }
 
+// enableCritPath installs the shared wait-state analyzer on sim and streams
+// every analyzed record into a JSONL store at path.
+func enableCritPath(sim *s3d.Simulation, a *s3d.CritPathAnalyzer, path string) *critpath.Store {
+	if err := sim.EnableCritPath(a); err != nil {
+		log.Fatal(err)
+	}
+	store, err := s3d.NewCritPathStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.SubscribeCritPath(store.Sink()); err != nil {
+		log.Fatal(err)
+	}
+	return store
+}
+
+// closeCritPathStore flushes the store and reports any dropped appends.
+func closeCritPathStore(store *critpath.Store, path string) {
+	if err := store.Err(); err != nil {
+		fmt.Printf("critpath store %s dropped records: %v\n", path, err)
+	}
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote critpath records to %s\n", path)
+}
+
+// writeCritPathOverlay exports the Chrome-trace timeline with the
+// critical-path overlay lane next to the JSONL store.
+func writeCritPathOverlay(write func(io.Writer) error, jsonlPath string) {
+	out := filepath.Join(filepath.Dir(jsonlPath), "critpath_trace.json")
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote critical-path Chrome trace to %s\n", out)
+}
+
 func writeAndRecord(ckpt *checkpointer, sim *s3d.Simulation, probe *s3d.Probe) {
 	paths, err := ckpt.write(sim)
 	if err != nil {
@@ -331,7 +393,8 @@ func buildProblem(name string, nx, ny, nz int) *s3d.Problem {
 }
 
 func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool, profileDir string,
-	healthOn bool, flightRec string, injectNaN int, analysisPath string, analysisEvery int, costPath string, costEvery int) {
+	healthOn bool, flightRec string, injectNaN int, analysisPath string, analysisEvery int, costPath string, costEvery int,
+	critPath string, critEvery int, straggle time.Duration) {
 	var dims [3]int
 	if n, err := fmt.Sscanf(strings.ToLower(ranks), "%dx%dx%d", &dims[0], &dims[1], &dims[2]); n != 3 || err != nil {
 		log.Fatalf("bad -ranks %q (want e.g. 2x2x1)", ranks)
@@ -343,6 +406,13 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 	if profileDir != "" {
 		profiler = s3d.NewProfiler()
 		machines = s3d.ProfileMachines()
+	}
+	// The critpath analyzer is shared by every rank (it is the cross-rank
+	// deposit barrier), so it is created here, outside the rank closure —
+	// the same pattern as the shared profiler.
+	var critA *s3d.CritPathAnalyzer
+	if critPath != "" {
+		critA = s3d.NewCritPathAnalyzer(s3d.CritPathSpec{Every: critEvery})
 	}
 	// Rank 0 carries the trace and monitor; every rank contributes its
 	// timer snapshot to the aggregate report and its own profiler track.
@@ -406,6 +476,29 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 					panic(err)
 				}
 			}
+		}
+		// The critpath analyzer is a collective too: every rank installs the
+		// same instance; only rank 0 subscribes the store (the barrier
+		// publishes exactly one record per analyzed step).
+		if critA != nil {
+			if err := r.EnableCritPath(critA); err != nil {
+				panic(err)
+			}
+			if r.Rank == 0 {
+				store, err := s3d.NewCritPathStore(critPath)
+				if err != nil {
+					panic(err)
+				}
+				defer closeCritPathStore(store, critPath)
+				if err := r.SubscribeCritPath(store.Sink()); err != nil {
+					panic(err)
+				}
+			}
+		}
+		// The straggler hook slows the highest rank, so the analyzer (and
+		// the cost imbalance analytics) have a known culprit to find.
+		if straggle > 0 && r.Rank == nRanks-1 {
+			r.InjectStraggler(straggle)
 		}
 		dt := 0.4 * r.StableDtGlobal()
 		var stepErr error
@@ -472,6 +565,9 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote profile artifacts to %s (trace.json, callpath.txt, callpath.csv, roofline.txt)\n", profileDir)
+	}
+	if critA != nil {
+		writeCritPathOverlay(critA.WriteChromeTrace, critPath)
 	}
 }
 

@@ -183,6 +183,62 @@ func TestHealthSmoke(t *testing.T) {
 	}
 }
 
+// TestCritPathSmoke drives the real CLI on a 2-rank reacting lifted jet
+// with the wait-state analyzer armed and the last rank's chemistry slowed
+// via -straggle, then validates the artifacts: critpath.jsonl must show the
+// critical path running through the slowed rank with the other rank in
+// late-sender waits, and the Chrome-trace overlay must be written. The
+// straggle is large (25 ms × 6 stages per step) so it dominates real
+// compute even on a single-CPU box where the rank goroutines time-slice.
+func TestCritPathSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpath := filepath.Join(dir, "critpath.jsonl")
+	os.Args = []string{"s3d",
+		"-problem", "liftedjet", "-nx", "32", "-ny", "24", "-nz", "1",
+		"-steps", "4", "-ranks", "2x1x1", "-workers", "1",
+		"-out", filepath.Join(dir, "out"),
+		"-critpath", cpath, "-critpath-every", "2",
+		"-straggle", "25ms",
+	}
+	main()
+
+	recs, err := s3d.ReadCritPath(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 { // steps 2 and 4 at cadence 2
+		t.Fatalf("got %d critpath records, want 2", len(recs))
+	}
+	for i, want := range []int{2, 4} {
+		rec := recs[i]
+		if rec.Step != want || rec.Ranks != 2 {
+			t.Fatalf("record %d: step %d ranks %d, want step %d on 2 ranks", i, rec.Step, rec.Ranks, want)
+		}
+		if rec.CritRank != 1 { // -straggle slows the last rank
+			t.Fatalf("record %d: critical path through rank %d, want 1\n%s", i, rec.CritRank, rec.Verdict)
+		}
+		if rec.DominantWait != "late_sender" {
+			t.Fatalf("record %d: dominant wait %q, want late_sender", i, rec.DominantWait)
+		}
+		if rec.MatchCompleteness != 1 {
+			t.Fatalf("record %d: match completeness %v, want 1", i, rec.MatchCompleteness)
+		}
+		if !strings.Contains(rec.Verdict, "rank 1") {
+			t.Fatalf("record %d verdict does not name the straggler: %q", i, rec.Verdict)
+		}
+	}
+
+	overlay, err := os.ReadFile(filepath.Join(dir, "critpath_trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"critical-path", "crit:rank1"} {
+		if !strings.Contains(string(overlay), want) {
+			t.Fatalf("critpath_trace.json missing %q", want)
+		}
+	}
+}
+
 // TestAnalysisSmoke drives the real CLI on a 2-rank decomposed inert box
 // with the in-situ reduction pipeline enabled and validates the artifact:
 // analysis.jsonl must load, respect the cadence, and carry finite science

@@ -1,0 +1,90 @@
+package comm
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base, failing the test after a generous deadline.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d now, %d at baseline", runtime.NumGoroutine(), base)
+}
+
+// TestAbortUnblocksPendingIrecv pins the leak fix: a rank blocked in Wait
+// on a message that will never arrive must unwind when the world aborts,
+// not park its goroutine forever.
+func TestAbortUnblocksPendingIrecv(t *testing.T) {
+	base := runtime.NumGoroutine()
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			// Give rank 1 time to park inside Wait, then abort.
+			time.Sleep(20 * time.Millisecond)
+			c.World().Abort("test straggler gave up")
+			return
+		}
+		buf := make([]float64, 4)
+		c.Irecv(0, 7, buf).Wait() // never satisfied
+		t.Error("Wait returned without a matching send")
+	})
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("want an abort error naming the cause, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "test straggler gave up") {
+		t.Fatalf("abort error lost the cause: %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestPanicAbortsBlockedPeers pins Run's root-cause preference: when one
+// rank panics while a peer is blocked in a collective, Run must report the
+// panic, not the peer's abort echo — and no goroutine may leak.
+func TestPanicAbortsBlockedPeers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			time.Sleep(10 * time.Millisecond)
+			panic("rank 1 exploded")
+		}
+		v := []float64{1}
+		c.Allreduce(Sum, v) // rank 1 never arrives
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1 panicked: rank 1 exploded") {
+		t.Fatalf("want the root-cause panic, got %v", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestAbortUnblocksRecvAny covers the server-thread receive path.
+func TestAbortUnblocksRecvAny(t *testing.T) {
+	base := runtime.NumGoroutine()
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			time.Sleep(10 * time.Millisecond)
+			c.World().Abort("shutdown")
+			return
+		}
+		c.RecvAny([]int{99})
+		t.Error("RecvAny returned without a message")
+	})
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("want abort error, got %v", err)
+	}
+	if !w.Aborted() {
+		t.Fatal("world must report Aborted after Abort")
+	}
+	waitGoroutines(t, base)
+}

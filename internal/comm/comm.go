@@ -8,7 +8,11 @@
 //
 // The runtime counts bytes and messages per rank so the performance model
 // (internal/perf) and the parallel-I/O model (internal/pario) can charge
-// communication costs without wall-clock timing noise.
+// communication costs without wall-clock timing noise. Every message also
+// carries a matchable envelope (sender rank, tag, step, RK stage, byte
+// count, post time on the world clock), and each rank can arm a per-step
+// event trace — the substrate for the wait-state and critical-path analyzer
+// in internal/critpath.
 package comm
 
 import (
@@ -23,8 +27,18 @@ import (
 // World owns the communication state for a fixed number of ranks.
 type World struct {
 	n     int
+	epoch time.Time
 	boxes []*mailbox
 	coll  *collective
+
+	// Abort state: a failing rank (or the health layer) marks the world
+	// aborted and wakes every blocked peer, which panics with an abort
+	// sentinel that Run folds into its error report — so one dead rank can
+	// never leak a neighbour's goroutine in a pending Wait forever.
+	aborted    atomic.Bool
+	abortMu    sync.Mutex
+	abortCause string
+	abortHooks []func()
 
 	// Per-rank telemetry, updated with single atomic adds so the accounting
 	// stays off the critical path (the "counts bytes and messages per rank"
@@ -35,6 +49,7 @@ type World struct {
 	bytesRecv  []atomic.Int64
 	msgsRecv   []atomic.Int64
 	waitNs     []atomic.Int64 // time blocked in point-to-point Wait
+	waitPeerNs []atomic.Int64 // waitNs split by peer, indexed rank*n + peer
 	collNs     []atomic.Int64 // time blocked in collectives
 	allreduces []atomic.Int64
 	barriers   []atomic.Int64
@@ -47,6 +62,7 @@ func NewWorld(n int) *World {
 	}
 	w := &World{
 		n:          n,
+		epoch:      time.Now(),
 		boxes:      make([]*mailbox, n),
 		coll:       newCollective(n),
 		bytesSent:  make([]atomic.Int64, n),
@@ -54,6 +70,7 @@ func NewWorld(n int) *World {
 		bytesRecv:  make([]atomic.Int64, n),
 		msgsRecv:   make([]atomic.Int64, n),
 		waitNs:     make([]atomic.Int64, n),
+		waitPeerNs: make([]atomic.Int64, n*n),
 		collNs:     make([]atomic.Int64, n),
 		allreduces: make([]atomic.Int64, n),
 		barriers:   make([]atomic.Int64, n),
@@ -66,6 +83,16 @@ func NewWorld(n int) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
+
+// Epoch returns the wall-clock origin of the world's event clock: every
+// envelope and trace timestamp is nanoseconds since Epoch, measured on the
+// monotonic clock so cross-rank timestamps are directly comparable.
+func (w *World) Epoch() time.Time { return w.epoch }
+
+// NowNs returns the current time on the world's event clock.
+func (w *World) NowNs() int64 { return w.nowNs() }
+
+func (w *World) nowNs() int64 { return time.Since(w.epoch).Nanoseconds() }
 
 // BytesSent returns the total bytes sent by rank r so far.
 func (w *World) BytesSent(r int) int64 { return w.bytesSent[r].Load() }
@@ -80,6 +107,17 @@ func (w *World) TotalBytes() int64 {
 		t += w.bytesSent[i].Load()
 	}
 	return t
+}
+
+// WaitByPeer returns rank r's cumulative point-to-point blocked time in
+// nanoseconds, split by the peer rank the wait was matched against. The
+// counters accumulate whether or not an event trace is armed.
+func (w *World) WaitByPeer(r int) []int64 {
+	out := make([]int64, w.n)
+	for p := 0; p < w.n; p++ {
+		out[p] = w.waitPeerNs[r*w.n+p].Load()
+	}
+	return out
 }
 
 // RankStats is the cumulative communication telemetry of one rank.
@@ -125,12 +163,81 @@ func (w *World) TotalStats() RankStats {
 	return t
 }
 
+// abortPanic is the sentinel thrown by blocked operations when the world
+// aborts. Run recognises it and prefers the root cause over the echoes.
+type abortPanic struct{ cause string }
+
+// Abort marks the world aborted and wakes every rank blocked in a receive
+// or collective; woken ranks panic with an abort sentinel that Run converts
+// into per-rank errors. The first cause wins; later calls are no-ops.
+func (w *World) Abort(cause string) {
+	if !w.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	w.abortMu.Lock()
+	w.abortCause = cause
+	w.abortMu.Unlock()
+	// Broadcast under each lock so a waiter is either woken here or sees
+	// the flag before it can park (it re-checks while holding the lock).
+	for _, box := range w.boxes {
+		box.mu.Lock()
+		box.cond.Broadcast()
+		box.mu.Unlock()
+	}
+	w.coll.mu.Lock()
+	w.coll.cond.Broadcast()
+	w.coll.mu.Unlock()
+	w.abortMu.Lock()
+	hooks := w.abortHooks
+	w.abortHooks = nil
+	w.abortMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// OnAbort registers fn to run when the world aborts — the hook for layers
+// with their own condition variables (the critpath deposit barrier) that
+// Abort's mailbox/collective broadcasts cannot wake. If the world has
+// already aborted, fn runs immediately.
+func (w *World) OnAbort(fn func()) {
+	w.abortMu.Lock()
+	if w.aborted.Load() {
+		w.abortMu.Unlock()
+		fn()
+		return
+	}
+	w.abortHooks = append(w.abortHooks, fn)
+	w.abortMu.Unlock()
+}
+
+// Aborted reports whether the world has been aborted.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+func (w *World) abortCauseLocked() string {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortCause
+}
+
+// checkAborted panics with the abort sentinel if the world is aborted.
+// Callers hold the mailbox or collective mutex, so the check pairs with
+// Abort's under-lock broadcast.
+func (w *World) checkAborted() {
+	if w.aborted.Load() {
+		panic(abortPanic{w.abortCauseLocked()})
+	}
+}
+
 // Run spawns one goroutine per rank executing body and waits for all of
 // them. A panic in any rank is recovered and returned as an error naming
 // the rank (so a failed parallel test reports cleanly instead of killing
-// the process).
+// the process); the panic also aborts the world so peers blocked on the
+// dead rank unwind instead of leaking. Abort echoes are reported only when
+// no root-cause error exists.
 func (w *World) Run(body func(c *Comm)) error {
 	errs := make([]error, w.n)
+	echo := make([]bool, w.n)
 	var wg sync.WaitGroup
 	wg.Add(w.n)
 	for r := 0; r < w.n; r++ {
@@ -138,13 +245,24 @@ func (w *World) Run(body func(c *Comm)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if ab, ok := p.(abortPanic); ok {
+						errs[rank] = fmt.Errorf("comm: rank %d aborted: %s", rank, ab.cause)
+						echo[rank] = true
+						return
+					}
 					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, p)
+					w.Abort(fmt.Sprintf("rank %d panicked: %v", rank, p))
 				}
 			}()
 			body(&Comm{world: w, rank: rank})
 		}(r)
 	}
 	wg.Wait()
+	for r, err := range errs {
+		if err != nil && !echo[r] {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -162,6 +280,19 @@ type Comm struct {
 	// track, so blocked time is charged to the call path that blocked
 	// (nil-track Begin is free).
 	prof *prof.Track
+
+	// Step context, stamped onto message envelopes and trace events. Owned
+	// by the rank's own goroutine — the solver sets it at step and RK-stage
+	// boundaries; no locking.
+	step, stage int
+
+	// Per-step event trace for the wait-state analyzer (internal/critpath).
+	// Armed and drained by the rank's own goroutine at step boundaries;
+	// WithoutProfiler copies (pario server threads) never arm it.
+	traceOn bool
+	ptp     []PtPEvent
+	colls   []CollEvent
+	collSeq int
 }
 
 // AttachProfiler records this rank's communication calls (MPI_ISEND,
@@ -171,8 +302,9 @@ type Comm struct {
 func (c *Comm) AttachProfiler(tr *prof.Track) { c.prof = tr }
 
 // WithoutProfiler returns a handle on the same world and rank that records
-// no spans — for server goroutines (the pario I/O threads) that share a
-// rank's communicator but run concurrently with the rank's own call stack.
+// no spans and no trace events — for server goroutines (the pario I/O
+// threads) that share a rank's communicator but run concurrently with the
+// rank's own call stack.
 func (c *Comm) WithoutProfiler() *Comm { return &Comm{world: c.world, rank: c.rank} }
 
 // Rank returns this rank's id.
@@ -187,10 +319,100 @@ func (c *Comm) World() *World { return c.world }
 // Stats returns this rank's cumulative communication telemetry.
 func (c *Comm) Stats() RankStats { return c.world.RankStats(c.rank) }
 
-// message is an in-flight point-to-point message.
+// SetStepContext stamps subsequent messages and trace events with the
+// solver's step number and RK stage. Call from the rank's own goroutine.
+func (c *Comm) SetStepContext(step, stage int) { c.step, c.stage = step, stage }
+
+// ArmTrace turns per-operation event recording on or off, dropping any
+// buffered events. While armed, every completed Isend/Wait and every
+// collective appends one event; DrainTrace collects them. Collective
+// sequence numbers restart at every arm so they match across ranks that
+// arm at the same program point (a step boundary).
+func (c *Comm) ArmTrace(on bool) {
+	c.traceOn = on
+	c.ptp = c.ptp[:0]
+	c.colls = c.colls[:0]
+	c.collSeq = 0
+}
+
+// DrainTrace returns the events recorded since ArmTrace and resets the
+// buffers; the returned slices belong to the caller.
+func (c *Comm) DrainTrace() ([]PtPEvent, []CollEvent) {
+	p, cl := c.ptp, c.colls
+	c.ptp, c.colls = nil, nil
+	return p, cl
+}
+
+// PtP event kinds.
+const (
+	KindSend = "send"
+	KindRecv = "recv"
+)
+
+// PtPEvent is one traced point-to-point operation (a completed send or
+// receive). All timestamps are on the world clock (ns since World.Epoch).
+type PtPEvent struct {
+	Kind    string // "send" | "recv"
+	Peer    int    // destination (send) or source (recv)
+	Tag     int
+	Bytes   int   // payload bytes
+	Step    int   // poster's step context
+	Stage   int   // poster's RK-stage context
+	PostNs  int64 // when the operation was posted
+	StartNs int64 // recv: when Wait began blocking; send: == PostNs
+	DoneNs  int64 // when the operation completed
+	// Receive side only: the matched sender's envelope — when the message
+	// was posted (== when it arrived, under buffered-send semantics) and
+	// the sender's step context at post time.
+	SendPostNs int64
+	SendStep   int
+	SendStage  int
+}
+
+// Collective event kinds.
+const (
+	KindAllreduce        = "allreduce"
+	KindAllreduceOrdered = "allreduce_ordered"
+	KindAllgather        = "allgather"
+	KindBarrier          = "barrier"
+)
+
+// CollEvent is one traced collective call. Seq is the rank's collective
+// sequence number since ArmTrace; because every rank executes the same
+// collective program, equal Seq identifies the same collective across
+// ranks (nested helper collectives — Barrier's inner allreduce,
+// AllreduceOrdered's inner allgather — record one event, not two).
+type CollEvent struct {
+	Kind    string
+	Seq     int
+	Bytes   int
+	Step    int
+	Stage   int
+	EnterNs int64
+	ExitNs  int64
+}
+
+// recordColl appends a collective trace event; kind "" marks a nested
+// helper call whose enclosing collective records instead.
+func (c *Comm) recordColl(kind string, bytes int, enterNs int64) {
+	if kind == "" || !c.traceOn {
+		return
+	}
+	c.colls = append(c.colls, CollEvent{
+		Kind: kind, Seq: c.collSeq, Bytes: bytes,
+		Step: c.step, Stage: c.stage,
+		EnterNs: enterNs, ExitNs: c.world.nowNs(),
+	})
+	c.collSeq++
+}
+
+// message is an in-flight point-to-point message with its envelope.
 type message struct {
 	src, tag int
 	data     []float64
+	postNs   int64 // world-clock time the send was posted (== arrival time)
+	step     int   // sender's step context at post time
+	stage    int
 }
 
 // mailbox holds unmatched arrived messages for one rank.
@@ -214,13 +436,28 @@ type Request struct {
 	src, tag int
 	buf      []float64
 	// telemetry attribution: the posting rank's world (nil for sends, which
-	// complete at post time) and the posting rank's profiler track, so the
+	// complete at post time), the posting rank's profiler track — so the
 	// blocked time inside Wait lands on the call path that posted the
-	// receive.
+	// receive — and the posting communicator for trace recording.
 	w    *World
 	rank int
 	prof *prof.Track
+	c    *Comm
+
+	// Operation timestamps on the world clock, persisted on the request so
+	// they survive the profiler span's end: per-neighbour wait accounting
+	// and the critpath analyzer need exact post/complete times.
+	postNs     int64
+	completeNs int64
+	bytes      int
 }
+
+// PostNs returns when the operation was posted (ns since World.Epoch).
+func (r *Request) PostNs() int64 { return r.postNs }
+
+// CompleteNs returns when the operation completed (ns since World.Epoch);
+// zero while the request is still pending.
+func (r *Request) CompleteNs() int64 { return r.completeNs }
 
 // Isend posts a non-blocking send of data to rank dst with a tag. The data
 // is copied at post time, so the caller may reuse its buffer immediately
@@ -232,16 +469,24 @@ func (c *Comm) Isend(dst, tag int, data []float64) *Request {
 	}
 	sp := c.prof.Begin("MPI_ISEND")
 	defer sp.End()
+	now := c.world.nowNs()
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	box := c.world.boxes[dst]
 	box.mu.Lock()
-	box.msgs = append(box.msgs, message{src: c.rank, tag: tag, data: cp})
+	box.msgs = append(box.msgs, message{src: c.rank, tag: tag, data: cp,
+		postNs: now, step: c.step, stage: c.stage})
 	box.mu.Unlock()
 	box.cond.Broadcast()
-	c.world.bytesSent[c.rank].Add(int64(8 * len(data)))
+	bytes := 8 * len(data)
+	c.world.bytesSent[c.rank].Add(int64(bytes))
 	c.world.msgsSent[c.rank].Add(1)
-	return &Request{done: true}
+	if c.traceOn {
+		c.ptp = append(c.ptp, PtPEvent{Kind: KindSend, Peer: dst, Tag: tag,
+			Bytes: bytes, Step: c.step, Stage: c.stage,
+			PostNs: now, StartNs: now, DoneNs: now})
+	}
+	return &Request{done: true, postNs: now, completeNs: now, bytes: bytes}
 }
 
 // Irecv posts a non-blocking receive into buf for a message from rank src
@@ -251,13 +496,15 @@ func (c *Comm) Irecv(src, tag int, buf []float64) *Request {
 		panic(fmt.Sprintf("comm: rank %d Irecv from invalid rank %d", c.rank, src))
 	}
 	return &Request{box: c.world.boxes[c.rank], src: src, tag: tag, buf: buf,
-		w: c.world, rank: c.rank, prof: c.prof}
+		w: c.world, rank: c.rank, prof: c.prof, c: c, postNs: c.world.nowNs()}
 }
 
 // Wait blocks until the request completes. For receives it matches the
 // earliest-arrived message from (src, tag) and copies it into the posted
 // buffer; a length mismatch panics, as MPI would raise a truncation error.
-// Time spent blocked is charged to the posting rank's wait counter.
+// Time spent blocked is charged to the posting rank's wait counter and to
+// its per-peer wait counter. If the world aborts while blocked, Wait
+// unwinds with the abort sentinel instead of parking forever.
 func (r *Request) Wait() {
 	if r.done {
 		return
@@ -265,10 +512,12 @@ func (r *Request) Wait() {
 	sp := r.prof.Begin("MPI_WAIT")
 	defer sp.End()
 	start := time.Now()
+	startNs := r.w.nowNs()
 	box := r.box
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	for {
+		r.w.checkAborted()
 		for i := range box.msgs {
 			m := &box.msgs[i]
 			if m.src == r.src && m.tag == r.tag {
@@ -277,11 +526,23 @@ func (r *Request) Wait() {
 						len(m.data), len(r.buf), r.src, r.tag))
 				}
 				copy(r.buf, m.data)
+				sendPostNs, sendStep, sendStage := m.postNs, m.step, m.stage
 				box.msgs = append(box.msgs[:i], box.msgs[i+1:]...)
 				r.done = true
-				r.w.bytesRecv[r.rank].Add(int64(8 * len(r.buf)))
+				r.completeNs = r.w.nowNs()
+				r.bytes = 8 * len(r.buf)
+				waited := time.Since(start).Nanoseconds()
+				r.w.bytesRecv[r.rank].Add(int64(r.bytes))
 				r.w.msgsRecv[r.rank].Add(1)
-				r.w.waitNs[r.rank].Add(time.Since(start).Nanoseconds())
+				r.w.waitNs[r.rank].Add(waited)
+				r.w.waitPeerNs[r.rank*r.w.n+r.src].Add(waited)
+				if r.c != nil && r.c.traceOn {
+					r.c.ptp = append(r.c.ptp, PtPEvent{Kind: KindRecv,
+						Peer: r.src, Tag: r.tag, Bytes: r.bytes,
+						Step: r.c.step, Stage: r.c.stage,
+						PostNs: r.postNs, StartNs: startNs, DoneNs: r.completeNs,
+						SendPostNs: sendPostNs, SendStep: sendStep, SendStage: sendStage})
+				}
 				return
 			}
 		}
@@ -306,6 +567,7 @@ func (c *Comm) RecvAny(tags []int) (src, tag int, data []float64) {
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	for {
+		c.world.checkAborted()
 		for i := range box.msgs {
 			m := &box.msgs[i]
 			for _, t := range tags {
@@ -384,91 +646,118 @@ func newCollective(n int) *collective {
 // the reduced result on every rank. All ranks must call with equal lengths.
 // The call's duration is charged to the rank's collective-time counter.
 func (c *Comm) Allreduce(op Op, vals []float64) {
+	c.allreduce(op, vals, KindAllreduce)
+}
+
+func (c *Comm) allreduce(op Op, vals []float64, kind string) {
 	sp := c.prof.Begin("MPI_ALLREDUCE")
 	defer sp.End()
+	enterNs := c.world.nowNs()
 	start := time.Now()
 	defer func() {
 		c.world.collNs[c.rank].Add(time.Since(start).Nanoseconds())
 		c.world.allreduces[c.rank].Add(1)
 	}()
 	col := c.world.coll
-	col.mu.Lock()
-	for col.phase == 1 { // previous collective still draining
-		col.cond.Wait()
-	}
-	if col.entered == 0 {
-		col.acc = append(col.acc[:0], vals...)
-	} else {
-		if len(col.acc) != len(vals) {
-			col.mu.Unlock()
-			panic("comm: Allreduce length mismatch across ranks")
-		}
-		op.combine(col.acc, vals)
-	}
-	col.entered++
-	if col.entered == col.n {
-		col.phase = 1
-		col.cond.Broadcast()
-	} else {
-		for col.phase == 0 {
+	// The deferred unlock keeps the collective mutex panic-safe: an abort
+	// unwinds every waiter through checkAborted, and a leaked lock here
+	// would park the remaining ranks inside cond.Wait forever.
+	func() {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		for col.phase == 1 { // previous collective still draining
+			c.world.checkAborted()
 			col.cond.Wait()
 		}
-	}
-	copy(vals, col.acc)
-	col.exited++
-	if col.exited == col.n {
-		col.entered, col.exited, col.phase = 0, 0, 0
-		col.cond.Broadcast()
-	}
-	col.mu.Unlock()
+		if col.entered == 0 {
+			col.acc = append(col.acc[:0], vals...)
+		} else {
+			if len(col.acc) != len(vals) {
+				panic("comm: Allreduce length mismatch across ranks")
+			}
+			op.combine(col.acc, vals)
+		}
+		col.entered++
+		if col.entered == col.n {
+			col.phase = 1
+			col.cond.Broadcast()
+		} else {
+			for col.phase == 0 {
+				c.world.checkAborted()
+				col.cond.Wait()
+			}
+		}
+		copy(vals, col.acc)
+		col.exited++
+		if col.exited == col.n {
+			col.entered, col.exited, col.phase = 0, 0, 0
+			col.cond.Broadcast()
+		}
+	}()
 	// Account the communication: a tree allreduce moves O(2·len) per rank.
 	c.world.bytesSent[c.rank].Add(int64(16 * len(vals)))
+	c.recordColl(kind, 16*len(vals), enterNs)
 }
 
 // Barrier blocks until all ranks arrive.
 func (c *Comm) Barrier() {
 	sp := c.prof.Begin("MPI_BARRIER")
 	defer sp.End()
+	enterNs := c.world.nowNs()
 	c.world.barriers[c.rank].Add(1)
 	v := []float64{0}
-	c.Allreduce(Sum, v)
+	c.allreduce(Sum, v, "")
+	c.recordColl(KindBarrier, 16, enterNs)
 }
 
 // Allgather collects each rank's slice; the result indexed by rank is
 // returned on every rank. All ranks must call with non-nil slices.
 func (c *Comm) Allgather(vals []float64) [][]float64 {
+	return c.allgather(vals, KindAllgather)
+}
+
+func (c *Comm) allgather(vals []float64, kind string) [][]float64 {
 	sp := c.prof.Begin("MPI_ALLGATHER")
 	defer sp.End()
+	enterNs := c.world.nowNs()
 	start := time.Now()
 	defer func() {
 		c.world.collNs[c.rank].Add(time.Since(start).Nanoseconds())
 	}()
 	col := c.world.coll
-	col.mu.Lock()
-	for col.phase == 1 {
-		col.cond.Wait()
-	}
-	cp := make([]float64, len(vals))
-	copy(cp, vals)
-	col.slots[c.rank] = cp
-	col.entered++
-	if col.entered == col.n {
-		col.phase = 1
-		col.cond.Broadcast()
-	} else {
-		for col.phase == 0 {
+	var out [][]float64
+	// Deferred unlock for abort-safety, as in allreduce: checkAborted
+	// panics out of the loops with the mutex held.
+	func() {
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		for col.phase == 1 {
+			c.world.checkAborted()
 			col.cond.Wait()
 		}
-	}
-	out := make([][]float64, col.n)
-	copy(out, col.slots)
-	col.exited++
-	if col.exited == col.n {
-		col.entered, col.exited, col.phase = 0, 0, 0
-		col.cond.Broadcast()
-	}
-	col.mu.Unlock()
+		cp := make([]float64, len(vals))
+		copy(cp, vals)
+		col.slots[c.rank] = cp
+		col.entered++
+		if col.entered == col.n {
+			col.phase = 1
+			col.cond.Broadcast()
+		} else {
+			for col.phase == 0 {
+				c.world.checkAborted()
+				col.cond.Wait()
+			}
+		}
+		out = make([][]float64, col.n)
+		copy(out, col.slots)
+		col.exited++
+		if col.exited == col.n {
+			col.entered, col.exited, col.phase = 0, 0, 0
+			col.cond.Broadcast()
+		}
+	}()
 	c.world.bytesSent[c.rank].Add(int64(8 * len(vals)))
+	c.recordColl(kind, 8*len(vals), enterNs)
 	return out
 }
 
@@ -477,15 +766,25 @@ func (c *Comm) Allgather(vals []float64) [][]float64 {
 // Allreduce, whose arrival-order fold makes floating-point sums
 // run-to-run nondeterministic. Every rank gets the bitwise-identical
 // result. Built on Allgather; counted as one allreduce. All ranks must
-// call with equal lengths.
-func (c *Comm) AllreduceOrdered(vals []float64, combine func(dst, src []float64)) {
-	slots := c.Allgather(vals)
+// call with equal lengths: a mismatch is reported as an error on every
+// rank (not a panic — the caller decides whether it is fatal). A
+// zero-length payload is a pure synchronization point and succeeds.
+func (c *Comm) AllreduceOrdered(vals []float64, combine func(dst, src []float64)) error {
+	enterNs := c.world.nowNs()
+	slots := c.allgather(vals, "")
 	c.world.allreduces[c.rank].Add(1)
-	copy(vals, slots[0])
-	for r := 1; r < len(slots); r++ {
+	for r := range slots {
 		if len(slots[r]) != len(vals) {
-			panic("comm: AllreduceOrdered length mismatch across ranks")
+			return fmt.Errorf("comm: AllreduceOrdered length mismatch across ranks: rank %d contributed %d values, rank %d posted %d",
+				r, len(slots[r]), c.rank, len(vals))
 		}
-		combine(vals, slots[r])
 	}
+	if len(vals) > 0 { // zero-length is a pure synchronization point
+		copy(vals, slots[0])
+		for r := 1; r < len(slots); r++ {
+			combine(vals, slots[r])
+		}
+	}
+	c.recordColl(KindAllreduceOrdered, 8*len(vals), enterNs)
+	return nil
 }

@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllreduceOrderedEdgePaths covers the failure/edge paths: zero-length
+// payload (a pure synchronization point), a single-rank world, and
+// mismatched lengths — which must surface as an error on every rank, not a
+// panic, and must not deadlock the collective.
+func TestAllreduceOrderedEdgePaths(t *testing.T) {
+	t.Run("zero-length", func(t *testing.T) {
+		w := NewWorld(2)
+		if err := w.Run(func(c *Comm) {
+			if err := c.AllreduceOrdered(nil, func(dst, src []float64) {
+				t.Error("combine called on empty payload")
+			}); err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("single-rank", func(t *testing.T) {
+		w := NewWorld(1)
+		if err := w.Run(func(c *Comm) {
+			vals := []float64{3, 4}
+			if err := c.AllreduceOrdered(vals, func(dst, src []float64) {
+				t.Error("combine must not run with one rank")
+			}); err != nil {
+				t.Error(err)
+			}
+			if vals[0] != 3 || vals[1] != 4 {
+				t.Errorf("single-rank reduce changed the payload: %v", vals)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("mismatched-lengths", func(t *testing.T) {
+		w := NewWorld(2)
+		errs := make([]error, 2)
+		if err := w.Run(func(c *Comm) {
+			vals := make([]float64, 1+c.Rank()) // rank 0: len 1, rank 1: len 2
+			errs[c.Rank()] = c.AllreduceOrdered(vals, func(dst, src []float64) {})
+		}); err != nil {
+			t.Fatalf("mismatch must not panic the world: %v", err)
+		}
+		for r, err := range errs {
+			if err == nil {
+				t.Fatalf("rank %d got no error on mismatched lengths", r)
+			}
+			if !strings.Contains(err.Error(), "length mismatch") {
+				t.Fatalf("rank %d error = %v", r, err)
+			}
+		}
+	})
+}
+
+// TestRequestTimestampsPersist pins the satellite fix: post/complete times
+// survive on the Request after the operation (and its profiler span) ends.
+func TestRequestTimestampsPersist(t *testing.T) {
+	w := NewWorld(2)
+	if err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 5, []float64{1, 2, 3})
+			if req.PostNs() <= 0 || req.CompleteNs() != req.PostNs() {
+				t.Errorf("send timestamps: post=%d complete=%d", req.PostNs(), req.CompleteNs())
+			}
+			return
+		}
+		buf := make([]float64, 3)
+		req := c.Irecv(0, 5, buf)
+		if req.PostNs() <= 0 {
+			t.Error("Irecv did not stamp a post time")
+		}
+		if req.CompleteNs() != 0 {
+			t.Error("pending request must report zero complete time")
+		}
+		req.Wait()
+		if req.CompleteNs() < req.PostNs() {
+			t.Errorf("complete %d before post %d", req.CompleteNs(), req.PostNs())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitByPeerAccumulates checks the always-on per-neighbour wait
+// counters: a receiver blocked on a slow sender charges that peer's slot
+// even with no trace armed.
+func TestWaitByPeerAccumulates(t *testing.T) {
+	w := NewWorld(2)
+	if err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			time.Sleep(20 * time.Millisecond)
+			c.Send(1, 3, []float64{1})
+			return
+		}
+		buf := make([]float64, 1)
+		c.Recv(0, 3, buf)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	byPeer := w.WaitByPeer(1)
+	if len(byPeer) != 2 {
+		t.Fatalf("WaitByPeer length %d, want world size", len(byPeer))
+	}
+	if byPeer[0] < int64(10*time.Millisecond) {
+		t.Fatalf("rank 1 waited %d ns on rank 0, want >= 10ms", byPeer[0])
+	}
+	if byPeer[1] != 0 {
+		t.Fatalf("rank 1 charged %d ns against itself", byPeer[1])
+	}
+}
+
+// TestTraceEnvelopes exercises the armed event trace end to end: send and
+// receive events carry the step/stage context of both sides, a blocked
+// receive exposes the late sender through SendPostNs, and nested helper
+// collectives (Barrier, AllreduceOrdered) record exactly one event with
+// matching sequence numbers across ranks.
+func TestTraceEnvelopes(t *testing.T) {
+	w := NewWorld(2)
+	ptps := make([][]PtPEvent, 2)
+	colls := make([][]CollEvent, 2)
+	if err := w.Run(func(c *Comm) {
+		c.SetStepContext(7, 0)
+		c.ArmTrace(true)
+		if c.Rank() == 0 {
+			c.SetStepContext(7, 2)
+			time.Sleep(15 * time.Millisecond)
+			c.Send(1, 11, []float64{1, 2})
+		} else {
+			buf := make([]float64, 2)
+			c.Recv(0, 11, buf)
+		}
+		c.Allreduce(Sum, []float64{1})
+		c.Barrier()
+		if err := c.AllreduceOrdered([]float64{1}, func(dst, src []float64) { dst[0] += src[0] }); err != nil {
+			t.Error(err)
+		}
+		c.Allgather([]float64{float64(c.Rank())})
+		p, cl := c.DrainTrace()
+		ptps[c.Rank()], colls[c.Rank()] = p, cl
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rank 0: one send event with its own stage context.
+	if len(ptps[0]) != 1 || ptps[0][0].Kind != KindSend {
+		t.Fatalf("rank 0 events = %+v, want one send", ptps[0])
+	}
+	send := ptps[0][0]
+	if send.Peer != 1 || send.Tag != 11 || send.Bytes != 16 || send.Step != 7 || send.Stage != 2 {
+		t.Fatalf("send envelope wrong: %+v", send)
+	}
+
+	// Rank 1: one recv event that saw the sender arrive late.
+	if len(ptps[1]) != 1 || ptps[1][0].Kind != KindRecv {
+		t.Fatalf("rank 1 events = %+v, want one recv", ptps[1])
+	}
+	recv := ptps[1][0]
+	if recv.Peer != 0 || recv.Tag != 11 || recv.Bytes != 16 || recv.Step != 7 || recv.Stage != 0 {
+		t.Fatalf("recv envelope wrong: %+v", recv)
+	}
+	if recv.SendStep != 7 || recv.SendStage != 2 {
+		t.Fatalf("recv lost the sender's context: %+v", recv)
+	}
+	if recv.SendPostNs != send.PostNs {
+		t.Fatalf("send post mismatch: recv saw %d, sender recorded %d", recv.SendPostNs, send.PostNs)
+	}
+	// Late sender: the message was posted after the receiver began waiting.
+	if recv.SendPostNs <= recv.StartNs {
+		t.Fatalf("want a late-sender pattern: sendPost=%d waitStart=%d", recv.SendPostNs, recv.StartNs)
+	}
+	if recv.DoneNs < recv.SendPostNs || recv.StartNs < recv.PostNs {
+		t.Fatalf("recv timestamps out of order: %+v", recv)
+	}
+
+	// Collectives: 4 top-level calls → 4 events, nested helpers suppressed,
+	// sequence numbers aligned across ranks.
+	wantKinds := []string{KindAllreduce, KindBarrier, KindAllreduceOrdered, KindAllgather}
+	for r := 0; r < 2; r++ {
+		if len(colls[r]) != len(wantKinds) {
+			t.Fatalf("rank %d collective events = %+v, want %d", r, colls[r], len(wantKinds))
+		}
+		for i, ev := range colls[r] {
+			if ev.Kind != wantKinds[i] || ev.Seq != i {
+				t.Fatalf("rank %d event %d = %+v, want kind %s seq %d", r, i, ev, wantKinds[i], i)
+			}
+			if ev.ExitNs < ev.EnterNs || ev.Step != 7 {
+				t.Fatalf("rank %d event %d timestamps/context wrong: %+v", r, i, ev)
+			}
+		}
+	}
+
+	// Draining again returns nothing.
+	if p, cl := func() ([]PtPEvent, []CollEvent) {
+		var c2 Comm
+		return c2.DrainTrace()
+	}(); len(p) != 0 || len(cl) != 0 {
+		t.Fatal("drained trace must be empty")
+	}
+}

@@ -1,102 +1,27 @@
 package cost
 
-import (
-	"bufio"
-	"encoding/json"
-	"fmt"
-	"os"
-	"sync"
-)
+import "github.com/s3dgo/s3d/internal/jsonl"
 
 // Store is the append-only cost.jsonl sink: one deterministic Record per
 // line, flushed per append so the file stays live for the dashboard and for
-// tail -f while the run is in flight.
+// tail -f while the run is in flight. It is the shared jsonl.Store helper
+// specialised to cost records.
 type Store struct {
-	mu  sync.Mutex
-	f   *os.File
-	w   *bufio.Writer
-	err error
+	*jsonl.Store[Record]
 }
 
 // CreateStore creates (truncating) the cost store at path.
 func CreateStore(path string) (*Store, error) {
-	f, err := os.Create(path)
+	st, err := jsonl.Create[Record](path)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{f: f, w: bufio.NewWriter(f)}, nil
+	return &Store{st}, nil
 }
 
-// Append writes one record as a JSON line and flushes.
-func (s *Store) Append(r Record) error {
-	data, err := json.Marshal(r)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.w.Write(append(data, '\n')); err != nil {
-		return err
-	}
-	return s.w.Flush()
-}
-
-// Sink adapts the store to a Collector subscriber. Write failures never
-// take the run down; the first one is retained for Err.
-func (s *Store) Sink() func(Record) {
-	return func(r Record) {
-		if err := s.Append(r); err != nil {
-			s.mu.Lock()
-			if s.err == nil {
-				s.err = err
-			}
-			s.mu.Unlock()
-		}
-	}
-}
-
-// Err returns the first append failure seen by Sink, if any.
-func (s *Store) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.err
-}
-
-// Close flushes and closes the store file.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.w.Flush(); err != nil {
-		s.f.Close()
-		return err
-	}
-	return s.f.Close()
-}
-
-// ReadCost loads every record of a cost.jsonl store.
+// ReadCost loads every record of a cost.jsonl store, tolerating a corrupt
+// tail (a run killed mid-append) the way obs.ReadTrace does: the valid
+// prefix still loads, and only mid-stream corruption reports an error.
 func ReadCost(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var recs []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var r Record
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			return nil, fmt.Errorf("cost: %s:%d: %v", path, line, err)
-		}
-		recs = append(recs, r)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return recs, nil
+	return jsonl.Read[Record]("cost", path)
 }

@@ -1,0 +1,345 @@
+// Package critpath is the cross-rank wait-state and critical-path analyzer
+// in the spirit of Scalasca/Vampir, layered on internal/comm's event trace
+// and internal/prof's call-path spans. Per analyzed step it matches message
+// edges across ranks, classifies waits (late-sender, late-receiver,
+// wait-at-collective with a root-cause rank), extracts the step's
+// cross-rank critical path by walking backward from the last-finishing
+// rank, and attributes critical-path time to profiler call-path regions
+// and pool worker tracks — answering "which rank made this step slow, and
+// who waited on whom" (see DESIGN.md, internal/critpath).
+//
+// One Analyzer is shared by every rank of a run (the cmd layer creates it
+// before RunDecomposed, like the shared profiler). Ranks deposit their
+// drained traces at the end of a due step; the last depositor analyzes and
+// publishes, the others wait — a barrier that also guarantees the
+// subscribed store has appended before any rank proceeds.
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/s3dgo/s3d/internal/obs"
+	"github.com/s3dgo/s3d/internal/prof"
+)
+
+// Analyzer owns the analysis state shared across ranks.
+type Analyzer struct {
+	every int
+
+	enabled atomic.Bool
+	// usesInternal marks that at least one rank records blame spans on the
+	// analyzer's own profiler (the run had none of its own); the internal
+	// profiler is then enabled only for due steps so disarmed steps pay
+	// two atomic loads per span, nothing more.
+	usesInternal atomic.Bool
+
+	internal *prof.Profiler
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	ranks     int
+	epoch     time.Time
+	epochSet  bool
+	deposits  map[int]*Deposit
+	doneStep  int
+	latest    *Record
+	subs      []func(Record)
+	reg       *obs.Registry
+	extProf   *prof.Profiler // adopted from deposited tracks, for export
+	profOff   int64          // analyzerNs - profOff = profNs
+	overlayOK bool
+	abortedFn func() bool // run-abort check for the deposit barrier
+
+	// Chrome-trace overlay: one synthetic track accumulating the critical
+	// path of every analyzed step, on the profiler clock.
+	ovNodes  []prof.PathNode
+	ovIdx    map[string]int32
+	ovEvents []prof.Event
+}
+
+// New creates a disabled analyzer that reduces every `every` steps (min 1).
+// Enable arms it; the per-step cost while disabled is one atomic load.
+func New(every int) *Analyzer {
+	if every < 1 {
+		every = 1
+	}
+	a := &Analyzer{
+		every:    every,
+		ranks:    1,
+		epoch:    time.Now(),
+		deposits: map[int]*Deposit{},
+		internal: prof.New(),
+		ovNodes:  []prof.PathNode{{Name: "", Parent: -1}},
+		ovIdx:    map[string]int32{},
+	}
+	a.internal.SetEnabled(false)
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Every returns the analysis cadence in steps.
+func (a *Analyzer) Every() int { return a.every }
+
+// Enable/Disable toggle the analyzer; Due gates on the enabled flag, the
+// one atomic load the step loop pays when the analyzer is off.
+func (a *Analyzer) Enable()       { a.enabled.Store(true) }
+func (a *Analyzer) Disable()      { a.enabled.Store(false) }
+func (a *Analyzer) Enabled() bool { return a.enabled.Load() }
+
+// Due reports whether the analyzer collects the given (completed) step.
+func (a *Analyzer) Due(step int) bool {
+	return a.enabled.Load() && step > 0 && step%a.every == 0
+}
+
+// Register declares the number of ranks that will deposit and, on
+// decomposed runs, adopts the comm world's clock as the analyzer clock so
+// deposits and comm events share a timebase. Every rank calls it once at
+// install; the first call wins, later calls must agree on the rank count.
+func (a *Analyzer) Register(ranks int, commEpoch time.Time, hasComm bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.epochSet {
+		if a.ranks != ranks {
+			return fmt.Errorf("critpath: analyzer registered for %d ranks, rank count %d disagrees", a.ranks, ranks)
+		}
+		return nil
+	}
+	a.ranks = ranks
+	if hasComm {
+		a.epoch = commEpoch
+	}
+	a.epochSet = true
+	return nil
+}
+
+// NowNs returns the current time on the analyzer clock (the comm world
+// clock on decomposed runs).
+func (a *Analyzer) NowNs() int64 {
+	a.mu.Lock()
+	epoch := a.epoch
+	a.mu.Unlock()
+	return time.Since(epoch).Nanoseconds()
+}
+
+// InternalRankTrack creates a rank track on the analyzer's internal
+// profiler, for runs that carry no profiler of their own: blame needs
+// call-path spans. The internal profiler is enabled only while a due step
+// is in flight.
+func (a *Analyzer) InternalRankTrack(rank int) *prof.Track {
+	a.usesInternal.Store(true)
+	return a.internal.NewTrack(prof.GroupRank, fmt.Sprintf("rank%d", rank))
+}
+
+// ArmStep opens a due step's collection window: when blame spans come from
+// the internal profiler, recording turns on for the step.
+func (a *Analyzer) ArmStep() {
+	if a.usesInternal.Load() {
+		a.internal.SetEnabled(true)
+	}
+}
+
+// BindAbort hooks the deposit barrier into a run-abort mechanism (the
+// comm world's): aborted reports whether the run has aborted, register
+// arranges a wake-up call when it does. Without the binding, a rank parked
+// in the barrier while a peer dies would sleep forever.
+func (a *Analyzer) BindAbort(register func(func()), aborted func() bool) {
+	a.mu.Lock()
+	if a.abortedFn != nil {
+		a.mu.Unlock()
+		return
+	}
+	a.abortedFn = aborted
+	a.mu.Unlock()
+	register(func() {
+		a.mu.Lock()
+		a.cond.Broadcast()
+		a.mu.Unlock()
+	})
+}
+
+// Subscribe registers a callback invoked once per analyzed step, on the
+// depositing goroutine that completed the step's barrier.
+func (a *Analyzer) Subscribe(fn func(Record)) {
+	a.mu.Lock()
+	a.subs = append(a.subs, fn)
+	a.mu.Unlock()
+}
+
+// AttachMetrics directs the critpath gauges at a registry; they appear in
+// /metrics.prom as critpath_* gauges.
+func (a *Analyzer) AttachMetrics(reg *obs.Registry) {
+	a.mu.Lock()
+	a.reg = reg
+	a.mu.Unlock()
+}
+
+// Latest returns the most recent record (nil before the first analysis).
+func (a *Analyzer) Latest() *Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.latest
+}
+
+// Deposit hands one rank's step trace to the analyzer and blocks until the
+// step is analyzed and published: the last rank to deposit runs the
+// analysis, so the call doubles as a step barrier and a happens-before
+// edge on every subscriber (the rank-0 store has flushed before any rank
+// resumes stepping).
+func (a *Analyzer) Deposit(d Deposit) {
+	a.mu.Lock()
+	a.deposits[d.Rank] = &d
+	if len(a.deposits) < a.ranks {
+		for a.doneStep < d.Step {
+			if a.abortedFn != nil && a.abortedFn() {
+				a.mu.Unlock()
+				panic("critpath: run aborted while rank waited for step analysis")
+			}
+			a.cond.Wait()
+		}
+		a.mu.Unlock()
+		return
+	}
+	deps := make([]*Deposit, a.ranks)
+	for r := range deps {
+		deps[r] = a.deposits[r]
+	}
+	a.deposits = map[int]*Deposit{}
+
+	// Adopt the profiler behind the deposited tracks (they all share one)
+	// and compute the clock offset: analyzerNs - profOff = profNs.
+	var p *prof.Profiler
+	for _, dep := range deps {
+		if p = dep.Track.Profiler(); p != nil {
+			break
+		}
+	}
+	if p != nil {
+		a.extProf = p
+		a.profOff = p.Epoch().Sub(a.epoch).Nanoseconds()
+		a.overlayOK = true
+	}
+	rec := analyze(deps, a.profOff, a.workerTracks(p))
+	if a.overlayOK {
+		a.appendOverlay(deps, rec)
+	}
+	if a.usesInternal.Load() {
+		a.internal.SetEnabled(false)
+	}
+	a.latest = &rec
+	reg := a.reg
+	subs := append(make([]func(Record), 0, len(a.subs)), a.subs...)
+	a.mu.Unlock()
+
+	if reg != nil {
+		var ls, lr, cw int64
+		for _, w := range rec.Waits {
+			ls += w.LateSenderNs
+			lr += w.LateRecvNs
+			cw += w.CollNs
+		}
+		reg.Gauge("critpath.step").Set(float64(rec.Step))
+		reg.Gauge("critpath.crit_rank").Set(float64(rec.CritRank))
+		reg.Gauge("critpath.crit_share").Set(rec.CritShare)
+		reg.Gauge("critpath.lost_frac").Set(rec.LostFrac)
+		reg.Gauge("critpath.edges").Set(float64(rec.Edges))
+		reg.Gauge("critpath.match_completeness").Set(rec.MatchCompleteness)
+		reg.Gauge("critpath.late_sender_ns").Set(float64(ls))
+		reg.Gauge("critpath.late_recv_ns").Set(float64(lr))
+		reg.Gauge("critpath.coll_wait_ns").Set(float64(cw))
+	}
+	for _, fn := range subs {
+		fn(rec)
+	}
+
+	a.mu.Lock()
+	a.doneStep = rec.Step
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// workerTracks lists the adopted profiler's pool worker tracks (blame's
+// worker-overlap column); nil when blame runs on the internal profiler,
+// which never attaches pools (overhead).
+func (a *Analyzer) workerTracks(p *prof.Profiler) []*prof.Track {
+	if p == nil || p == a.internal {
+		return nil
+	}
+	var out []*prof.Track
+	for _, t := range p.Tracks() {
+		if t.Group() == prof.GroupWorker {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// appendOverlay adds the record's critical-path segments to the synthetic
+// Chrome-trace overlay track, on the profiler clock. Called under a.mu.
+func (a *Analyzer) appendOverlay(deps []*Deposit, rec Record) {
+	lo := deps[0].StartNs
+	for _, d := range deps[1:] {
+		if d.StartNs < lo {
+			lo = d.StartNs
+		}
+	}
+	for _, s := range rec.Path {
+		name := fmt.Sprintf("crit:rank%d", s.Rank)
+		id, ok := a.ovIdx[name]
+		if !ok {
+			id = int32(len(a.ovNodes))
+			a.ovNodes = append(a.ovNodes, prof.PathNode{Name: name, Parent: 0})
+			a.ovIdx[name] = id
+		}
+		// Path segments are rebased to the step window; undo that and shift
+		// onto the profiler clock so the overlay aligns with real spans.
+		start := s.StartNs + lo - a.profOff
+		a.ovEvents = append(a.ovEvents, prof.Event{
+			Path: id, Start: start, Dur: s.EndNs - s.StartNs,
+			Args: map[string]string{
+				"step": fmt.Sprint(rec.Step),
+				"via":  s.Via,
+			},
+		})
+	}
+}
+
+// WriteChromeTrace exports the blame profiler's timeline with the
+// critical-path overlay as an extra process group, loadable in
+// chrome://tracing or Perfetto — the critical path renders as a dedicated
+// lane of crit:rankN spans above the real call-path rows.
+func (a *Analyzer) WriteChromeTrace(w io.Writer) error {
+	a.mu.Lock()
+	p := a.extProf
+	overlay := prof.TrackSnapshot{Group: "critpath", Name: "critical-path", ID: 1 << 20}
+	overlay.Nodes = append(overlay.Nodes, a.ovNodes...)
+	overlay.Events = append(overlay.Events, a.ovEvents...)
+	a.mu.Unlock()
+	var snaps []prof.TrackSnapshot
+	if p != nil {
+		snaps = p.Snapshot()
+	}
+	snaps = append(snaps, overlay)
+	return prof.WriteChromeTraceFrom(w, snaps)
+}
+
+// Handler serves the latest record as JSON — the live GET /critpath
+// endpoint. Before the first analysis it serves an empty object.
+func (a *Analyzer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rec := a.Latest()
+		if rec == nil {
+			_, _ = w.Write([]byte("{}\n"))
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec)
+	})
+}

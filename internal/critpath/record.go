@@ -1,0 +1,179 @@
+package critpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Wait-state classes, following the Scalasca taxonomy adapted to buffered
+// sends (see DESIGN.md): a late sender blocks the receiver's Wait; a late
+// receiver leaves the message idling in the mailbox (the sender never
+// blocks under buffered semantics, so the idle time is charged to the
+// receiving rank as arrival lateness, not as blocked time); collective
+// waits are charged against the root-cause rank, the last to arrive.
+const (
+	WaitLateSender   = "late_sender"
+	WaitLateReceiver = "late_receiver"
+	WaitCollective   = "collective"
+	WaitNone         = "none"
+)
+
+// RankOps is the per-rank operation census of one analyzed step — part of
+// the deterministic record structure (identical across worker counts).
+type RankOps struct {
+	Rank        int `json:"rank"`
+	Sends       int `json:"sends"`
+	Recvs       int `json:"recvs"`
+	Collectives int `json:"collectives"`
+}
+
+// Segment is one hop of the cross-rank critical path: rank owned the
+// global progress frontier from StartNs to EndNs (relative to the step
+// window start). Via names the edge that led *into* the segment: "start"
+// (the step began here), "recv" (control arrived with a message this rank
+// had been late to send), or "collective" (this rank was the root cause of
+// a collective wait).
+type Segment struct {
+	Rank    int    `json:"rank"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	Via     string `json:"via"`
+}
+
+// RankWait aggregates one rank's classified wait states for the step.
+type RankWait struct {
+	Rank int `json:"rank"`
+	// LateSenderNs is time blocked in Wait because the matching message was
+	// posted after the wait began; LateSenderPeer is the peer charged with
+	// most of it (-1 when none).
+	LateSenderNs   int64 `json:"late_sender_ns"`
+	LateSenderPeer int   `json:"late_sender_peer"`
+	// LateRecvNs is mailbox idle time: messages that arrived before this
+	// rank posted its wait (this rank was the late party).
+	LateRecvNs int64 `json:"late_recv_ns"`
+	// CollNs is time blocked in collectives before the root-cause rank
+	// arrived; CollRoot is the rank charged with most of it (-1 when none).
+	CollNs   int64 `json:"coll_ns"`
+	CollRoot int   `json:"coll_root"`
+	// BlockedNs is the rank's total blocked time (late-sender + collective);
+	// BlockedFrac is that relative to the rank's own step span.
+	BlockedNs   int64   `json:"blocked_ns"`
+	BlockedFrac float64 `json:"blocked_frac"`
+}
+
+// RegionBlame charges critical-path time to one prof call path.
+type RegionBlame struct {
+	Path string  `json:"path"`
+	Ns   int64   `json:"ns"`
+	Frac float64 `json:"frac"`
+}
+
+// WorkerShare is a pool worker track's busy overlap with the critical
+// path, aggregated by track name across pools.
+type WorkerShare struct {
+	Track  string `json:"track"`
+	BusyNs int64  `json:"busy_ns"`
+}
+
+// Record is one analyzed step. The structural fields (Ranks, the operation
+// census, Edges, MatchCompleteness) are deterministic across worker counts
+// and runs; everything timing-derived (the path, waits, blame) is not.
+type Record struct {
+	Step  int     `json:"step"`
+	Time  float64 `json:"time"`
+	Ranks int     `json:"ranks"`
+
+	// Deterministic structure.
+	Sends       int `json:"sends"`
+	Recvs       int `json:"recvs"`
+	Collectives int `json:"collectives"`
+	Edges       int `json:"edges"` // matched send→recv message edges
+	// MatchCompleteness is the fraction of receive edges whose posting send
+	// event is present in the step's trace (messages from untraced server
+	// threads or a previous step lower it below 1).
+	MatchCompleteness float64   `json:"match_completeness"`
+	RankOps           []RankOps `json:"rank_ops"`
+
+	// Timing-derived analysis.
+	StepSpanNs   int64         `json:"step_span_ns"`
+	CritRank     int           `json:"crit_rank"`
+	CritShare    float64       `json:"crit_share"`
+	Path         []Segment     `json:"path"`
+	Waits        []RankWait    `json:"waits"`
+	DominantWait string        `json:"dominant_wait"`
+	LostFrac     float64       `json:"lost_frac"`
+	Blame        []RegionBlame `json:"blame,omitempty"`
+	UntrackedNs  int64         `json:"untracked_ns"`
+	Workers      []WorkerShare `json:"workers,omitempty"`
+	Verdict      string        `json:"verdict"`
+}
+
+// verdict renders the one-line human summary ("step 142: critical path ran
+// through rank 2's chemistry tiles; ranks 0,1,3 lost 38% of the step in
+// late-sender waits on rank 2").
+func (r *Record) verdict() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "step %d: critical path ran through rank %d (%.0f%% of %.2f ms)",
+		r.Step, r.CritRank, 100*r.CritShare, float64(r.StepSpanNs)/1e6)
+	if len(r.Blame) > 0 {
+		fmt.Fprintf(&b, ", mostly in %s", r.Blame[0].Path)
+	}
+	if r.DominantWait != WaitNone && len(r.Waits) > 0 {
+		var losers []string
+		var blamed = -1
+		switch r.DominantWait {
+		case WaitLateSender:
+			counts := map[int]int64{}
+			for _, w := range r.Waits {
+				if w.LateSenderNs > 0 {
+					losers = append(losers, fmt.Sprint(w.Rank))
+					if w.LateSenderPeer >= 0 {
+						counts[w.LateSenderPeer] += w.LateSenderNs
+					}
+				}
+			}
+			for p, ns := range counts {
+				if blamed < 0 || ns > counts[blamed] || (ns == counts[blamed] && p < blamed) {
+					blamed = p
+				}
+			}
+			if len(losers) > 0 {
+				fmt.Fprintf(&b, "; ranks %s lost %.0f%% of the step in late-sender waits",
+					strings.Join(losers, ","), 100*r.LostFrac)
+				if blamed >= 0 {
+					fmt.Fprintf(&b, " on rank %d", blamed)
+				}
+			}
+		case WaitCollective:
+			counts := map[int]int64{}
+			for _, w := range r.Waits {
+				if w.CollNs > 0 && w.CollRoot >= 0 {
+					counts[w.CollRoot] += w.CollNs
+				}
+			}
+			for p, ns := range counts {
+				if blamed < 0 || ns > counts[blamed] || (ns == counts[blamed] && p < blamed) {
+					blamed = p
+				}
+			}
+			fmt.Fprintf(&b, "; %.0f%% of the step lost waiting at collectives", 100*r.LostFrac)
+			if blamed >= 0 {
+				fmt.Fprintf(&b, " rooted at rank %d", blamed)
+			}
+		case WaitLateReceiver:
+			fmt.Fprintf(&b, "; messages idled in mailboxes waiting for late receivers")
+		}
+	}
+	return b.String()
+}
+
+// sortBlame orders blame entries by descending time, ties by path.
+func sortBlame(bl []RegionBlame) {
+	sort.Slice(bl, func(i, j int) bool {
+		if bl[i].Ns != bl[j].Ns {
+			return bl[i].Ns > bl[j].Ns
+		}
+		return bl[i].Path < bl[j].Path
+	})
+}

@@ -1,0 +1,28 @@
+package critpath
+
+import "github.com/s3dgo/s3d/internal/jsonl"
+
+// Store is the append-only critpath.jsonl sink: one Record per analyzed
+// step, flushed per append so the file stays live for the dashboard and
+// for tail -f while the run is in flight. It is the shared jsonl.Store
+// helper specialised to critpath records.
+type Store struct {
+	*jsonl.Store[Record]
+}
+
+// CreateStore creates (truncating) the critpath store at path.
+func CreateStore(path string) (*Store, error) {
+	st, err := jsonl.Create[Record](path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{st}, nil
+}
+
+// ReadCritPath loads every record of a critpath.jsonl store, tolerating a
+// corrupt tail (a run killed mid-append) the way obs.ReadTrace does: the
+// valid prefix still loads, and only mid-stream corruption reports an
+// error.
+func ReadCritPath(path string) ([]Record, error) {
+	return jsonl.Read[Record]("critpath", path)
+}

@@ -295,7 +295,7 @@ func TestStoreSinkRetainsFirstError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.f.Close() // force the flush to fail
+	st.Close() // force the next append's flush to fail
 	sink := st.Sink()
 	sink(Record{Step: 1})
 	if st.Err() == nil {

@@ -1,0 +1,125 @@
+// Package jsonl is the shared append-only JSONL store used by every
+// observability subsystem that persists one record per line (insitu
+// analysis.jsonl, cost cost.jsonl, critpath critpath.jsonl). It factors the
+// previously copy-pasted store/reader pairs onto one generic helper and
+// upgrades every reader to the obs.ReadTrace corrupt-tail contract: a run
+// killed mid-write leaves a truncated final line, and the valid prefix must
+// still load.
+package jsonl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Store is an append-only JSONL sink: one record per line, flushed per
+// append so the file stays live for the dashboard and for tail -f while the
+// run is in flight. Methods are safe for concurrent use.
+type Store[T any] struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+// Create creates (truncating) a store at path.
+func Create[T any](path string) (*Store[T], error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store[T]{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one record as a JSON line and flushes.
+func (s *Store[T]) Append(r T) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Sink adapts the store to a collector/pipeline subscriber. Write failures
+// never take the run down; the first one is retained for Err.
+func (s *Store[T]) Sink() func(T) {
+	return func(r T) {
+		if err := s.Append(r); err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Err returns the first append failure seen by Sink, if any.
+func (s *Store[T]) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes and closes the store file.
+func (s *Store[T]) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Read loads every record of a JSONL store, tolerating a corrupt tail the
+// way obs.ReadTrace does: unparseable lines with no valid record after them
+// (the truncated-tail case, including an over-long final fragment) are
+// dropped silently and the prefix is returned with a nil error. An
+// unparseable line *followed by* valid records means mid-stream corruption:
+// the valid prefix before the damage is returned along with an error naming
+// the line, prefixed with pkg (the owning package, for error attribution).
+func Read[T any](pkg, path string) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []T
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	var badErr error
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var r T
+		if err := json.Unmarshal([]byte(text), &r); err != nil {
+			if badErr == nil {
+				badErr = fmt.Errorf("%s: %s:%d: %v", pkg, path, line, err)
+			}
+			continue
+		}
+		if badErr != nil {
+			// Valid data after the damage: not a truncated tail.
+			return recs, badErr
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return recs, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,84 @@
+package jsonl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	Step int    `json:"step"`
+	Name string `json:"name"`
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	st, err := Create[rec](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := st.Sink()
+	sink(rec{Step: 1, Name: "a"})
+	sink(rec{Step: 2, Name: "b"})
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read[rec]("test", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Step != 1 || recs[1].Name != "b" {
+		t.Fatalf("round trip lost data: %+v", recs)
+	}
+}
+
+// TestReadCorruptTail pins the obs.ReadTrace-style recovery contract: a
+// truncated final line (run killed mid-append) is dropped silently; damage
+// followed by valid records is a real error naming the line.
+func TestReadCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+
+	tail := filepath.Join(dir, "tail.jsonl")
+	if err := os.WriteFile(tail, []byte("{\"step\":1}\n{\"step\":2}\n{\"ste"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read[rec]("test", tail)
+	if err != nil {
+		t.Fatalf("truncated tail must be tolerated, got %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want the 2-record prefix", len(recs))
+	}
+
+	mid := filepath.Join(dir, "mid.jsonl")
+	if err := os.WriteFile(mid, []byte("{\"step\":1}\n{garbage\n{\"step\":3}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Read[rec]("test", mid)
+	if err == nil {
+		t.Fatal("mid-stream corruption must report an error")
+	}
+	if !strings.Contains(err.Error(), "test: ") || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("error must name the package and line: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Step != 1 {
+		t.Fatalf("got %+v, want the pre-damage prefix", recs)
+	}
+
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Read[rec]("test", empty)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty store: recs=%v err=%v", recs, err)
+	}
+
+	if _, err := Read[rec]("test", filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -60,6 +60,11 @@ func (p *Profiler) Enabled() bool { return p.on.Load() }
 // now returns nanoseconds since the profiler epoch.
 func (p *Profiler) now() int64 { return time.Since(p.epoch).Nanoseconds() }
 
+// Epoch returns the wall-clock origin of the profiler clock, so consumers
+// holding timestamps on another in-process clock (the comm world clock, the
+// critpath analyzer clock) can align the two with Epoch().Sub(other).
+func (p *Profiler) Epoch() time.Time { return p.epoch }
+
 // NewTrack registers a timeline track. Group selects the exporter layout
 // row (GroupRank or GroupWorker); name labels the track ("rank0",
 // "worker3"). The returned track's span methods must be called from a
@@ -133,6 +138,16 @@ type Track struct {
 
 // Name returns the track label ("rank0").
 func (t *Track) Name() string { return t.name }
+
+// Profiler returns the profiler the track records on, or nil for a nil
+// track — so a subsystem handed only a track (solver blocks hold one) can
+// reach the shared epoch and snapshot machinery.
+func (t *Track) Profiler() *Profiler {
+	if t == nil {
+		return nil
+	}
+	return t.p
+}
 
 // Group returns the track's layout group (GroupRank or GroupWorker).
 func (t *Track) Group() string { return t.group }
@@ -229,6 +244,32 @@ func (t *Track) Snapshot() TrackSnapshot {
 	}
 	s.Events = make([]Event, len(t.events))
 	copy(s.Events, t.events)
+	return s
+}
+
+// SnapshotRange copies the track's node table and only the events whose
+// span overlaps [loNs, hiNs) on the profiler clock. Because events append
+// at span End, end times (Start+Dur) are monotone non-decreasing per
+// track, so the scan walks backward from the tail and stops at the first
+// event that ended before loNs — a windowed snapshot stays cheap on long
+// runs (the critpath analyzer takes one per analyzed step).
+func (t *Track) SnapshotRange(loNs, hiNs int64) TrackSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TrackSnapshot{Group: t.group, Name: t.name, ID: t.id}
+	s.Nodes = make([]PathNode, len(t.nodes))
+	for i, n := range t.nodes {
+		s.Nodes[i] = PathNode{Name: n.name, Parent: n.parent}
+	}
+	lo := len(t.events)
+	for lo > 0 && t.events[lo-1].Start+t.events[lo-1].Dur >= loNs {
+		lo--
+	}
+	for _, ev := range t.events[lo:] {
+		if ev.Start < hiNs && ev.Start+ev.Dur >= loNs {
+			s.Events = append(s.Events, ev)
+		}
+	}
 	return s
 }
 

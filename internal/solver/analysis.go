@@ -97,10 +97,12 @@ func (b *Block) analysisStep() {
 	if b.cart != nil {
 		// Ascending rank order — unlike Allreduce's arrival-order fold —
 		// so decomposed statistics are run-to-run reproducible too.
-		b.cart.Comm.AllreduceOrdered(acc, func(dst, src []float64) {
+		if err := b.cart.Comm.AllreduceOrdered(acc, func(dst, src []float64) {
 			p.MergeVec(dst[:total], src[:total])
 			dst[total] += src[total]
-		})
+		}); err != nil {
+			panic(err) // converted to a Run error by comm's rank recovery
+		}
 	}
 
 	var extras []insitu.Product

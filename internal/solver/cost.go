@@ -120,7 +120,9 @@ func (b *Block) costStep() {
 	if b.cart != nil {
 		// Ascending rank order — unlike Allreduce's arrival-order fold —
 		// so decomposed records are run-to-run reproducible too.
-		b.cart.Comm.AllreduceOrdered(b.cFold, cost.CombineFold)
+		if err := b.cart.Comm.AllreduceOrdered(b.cFold, cost.CombineFold); err != nil {
+			panic(err) // converted to a Run error by comm's rank recovery
+		}
 	}
 	rec := cost.Unpack(b.cFold, b.Step, b.Time, c.WhatIfWorkers())
 

@@ -1,0 +1,106 @@
+package solver
+
+// The solver side of the cross-rank wait-state and critical-path analyzer
+// (internal/critpath): a due step arms the block's comm event trace and
+// opens a window on the analyzer clock; after the step's health check and
+// reductions, critStep drains the trace and deposits it at the shared
+// analyzer, whose barrier publishes the analyzed record before any rank
+// resumes stepping.
+
+import (
+	"time"
+
+	"github.com/s3dgo/s3d/internal/critpath"
+)
+
+// InstallCritPath attaches the run's shared critpath analyzer to the block
+// (pass nil to detach). In decomposed runs every rank must install the SAME
+// analyzer — it doubles as the deposit barrier — and the analyzer adopts
+// the comm world's clock so comm events and step windows share a timebase.
+// Blocks without a profiler track of their own get a rank track on the
+// analyzer's internal profiler, so blame attribution works either way.
+func (b *Block) InstallCritPath(a *critpath.Analyzer) error {
+	if a == nil {
+		b.critA = nil
+		return nil
+	}
+	if b.cart != nil {
+		w := b.cart.Comm.World()
+		if err := a.Register(w.Size(), w.Epoch(), true); err != nil {
+			return err
+		}
+		// A rank that dies mid-step must not strand its peers in the
+		// deposit barrier.
+		a.BindAbort(w.OnAbort, w.Aborted)
+	} else if err := a.Register(1, time.Time{}, false); err != nil {
+		return err
+	}
+	if b.profT == nil {
+		b.EnableProfiling(a.InternalRankTrack(b.Rank()))
+	}
+	b.critA = a
+	return nil
+}
+
+// CritPath returns the installed analyzer (nil when none).
+func (b *Block) CritPath() *critpath.Analyzer { return b.critA }
+
+// critArm opens the collection window for the step about to run: the
+// analyzer arms (enabling its internal profiler if blame runs on it), the
+// window-open timestamp is taken on the analyzer clock, and the block's
+// communicator starts recording point-to-point and collective envelopes
+// stamped with the step context.
+func (b *Block) critArm() {
+	b.critA.ArmStep()
+	b.critStart = b.critA.NowNs()
+	if b.cart != nil {
+		b.cart.Comm.SetStepContext(b.Step+1, 0)
+		b.cart.Comm.ArmTrace(true)
+	}
+}
+
+// critStage stamps the running RK stage onto traced comm envelopes.
+func (b *Block) critStage(stage int) {
+	if b.critDue && b.cart != nil {
+		b.cart.Comm.SetStepContext(b.Step+1, stage)
+	}
+}
+
+// critStep deposits a due step's drained trace at the shared analyzer and
+// blocks until the step is analyzed — the deposit doubles as a step
+// barrier, so every rank sees the published record (and rank 0's store has
+// flushed) before stepping on. Runs after the health check and the other
+// reductions, so all ranks reach it on the same step.
+func (b *Block) critStep() {
+	if !b.critDue {
+		return
+	}
+	b.critDue = false
+	a := b.critA
+	end := a.NowNs()
+	d := critpath.Deposit{
+		Rank: b.Rank(), Step: b.Step, Time: b.Time,
+		StartNs: b.critStart, EndNs: end, Track: b.profT,
+	}
+	if b.cart != nil {
+		d.PtP, d.Coll = b.cart.Comm.DrainTrace()
+		b.cart.Comm.ArmTrace(false)
+	}
+	a.Deposit(d)
+}
+
+// SetStragglerDelay injects an artificial per-stage delay into this rank's
+// chemistry sweep (zero disables) — the validation hook for the critpath
+// analyzer and the cost imbalance analytics: a slowed rank must show up as
+// the critical-path owner with its peers in late-sender waits.
+func (b *Block) SetStragglerDelay(d time.Duration) { b.stragglerDelay = d }
+
+// CommWaitByPeer returns this rank's cumulative Wait-blocked nanoseconds by
+// peer rank (nil on serial runs). The counters accumulate whether or not
+// the critpath analyzer is armed.
+func (b *Block) CommWaitByPeer() []int64 {
+	if b.cart == nil {
+		return nil
+	}
+	return b.cart.Comm.World().WaitByPeer(b.Rank())
+}

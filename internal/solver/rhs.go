@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"time"
+
 	"github.com/s3dgo/s3d/internal/cost"
 	"github.com/s3dgo/s3d/internal/deriv"
 	"github.com/s3dgo/s3d/internal/grid"
@@ -408,6 +410,11 @@ func (b *Block) divergence() {
 // sum is bitwise identical for any worker count.
 func (b *Block) chemSource() {
 	defer b.beginRegion("REACTION_RATE_BOUNDS").End()
+	if d := b.stragglerDelay; d > 0 {
+		// Injected slowdown (SetStragglerDelay): charged inside the
+		// chemistry region so the critpath analyzer blames the right kernel.
+		time.Sleep(d)
+	}
 	ns := b.ns
 	species := b.mech.Set.Species
 	// On the final RK stage of a cost-due step the deterministic chemistry

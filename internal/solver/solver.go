@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"github.com/s3dgo/s3d/internal/chem"
 	"github.com/s3dgo/s3d/internal/comm"
 	"github.com/s3dgo/s3d/internal/cost"
+	"github.com/s3dgo/s3d/internal/critpath"
 	"github.com/s3dgo/s3d/internal/grid"
 	"github.com/s3dgo/s3d/internal/health"
 	"github.com/s3dgo/s3d/internal/insitu"
@@ -308,6 +310,18 @@ type Block struct {
 	// Spatial cost-density fields (registered unconditionally; zero unless
 	// cost maps are enabled).
 	costChemF, costDensF *grid.Field3
+
+	// Cross-rank wait-state and critical-path analyzer (see critpath.go in
+	// this package). critA may stay nil; a disabled analyzer costs
+	// StepChecked one atomic load per step. A due step arms the comm event
+	// trace and ends in a deposit barrier at the shared analyzer.
+	critA     *critpath.Analyzer
+	critDue   bool  // this step ends in a critpath deposit
+	critStart int64 // step-window open on the analyzer clock
+
+	// stragglerDelay artificially slows this rank's chemistry sweep (one
+	// sleep per RK stage) — the injection hook for critpath validation.
+	stragglerDelay time.Duration
 }
 
 // kernScratch is one worker's private scratch for the tiled kernels: the

@@ -53,6 +53,12 @@ func (b *Block) StepChecked(dt float64) error {
 	if b.costDue {
 		b.costArm(dt)
 	}
+	// And for the critpath analyzer: a due step records comm envelopes and
+	// ends in a cross-rank deposit barrier.
+	b.critDue = b.critA != nil && b.critA.Due(b.Step+1)
+	if b.critDue {
+		b.critArm()
+	}
 	scheme := rk.RK46NL
 	nStages := scheme.Stages()
 	if len(b.StageWall) != nStages {
@@ -62,7 +68,12 @@ func (b *Block) StepChecked(dt float64) error {
 	stageStart := stepStart
 	rhsCall := 0
 	stepSpan := b.profT.Begin("STEP")
-	defer stepSpan.End()
+	stepOpen := true
+	defer func() {
+		if stepOpen {
+			stepSpan.End()
+		}
+	}()
 	// Zero the 2N accumulation registers: the dQ bank is one contiguous
 	// arena run, so this is a single stride-1 sweep through the selected
 	// reset backend.
@@ -70,6 +81,7 @@ func (b *Block) StepChecked(dt float64) error {
 	scheme.Drive(b.Time, dt, func(stageTime float64) {
 		stageStart = time.Now()
 		rhsCall++
+		b.critStage(rhsCall)
 		// The heat-release integral piggybacks on the final stage's
 		// chemistry sweep (see telemetry.go); a due analysis step needing
 		// heat release requests the same collection.
@@ -100,6 +112,11 @@ func (b *Block) StepChecked(dt float64) error {
 		b.recordStepMetrics(dt, time.Since(stepStart).Seconds())
 	}
 	b.inStep = false
+	// Close the STEP span before the end-of-step reductions: the critpath
+	// deposit snapshots the track, and an event records only at End, so a
+	// still-open STEP would vanish from blame's top-level coverage.
+	stepOpen = false
+	stepSpan.End()
 	if w := b.watch; w != nil && w.Armed() {
 		if err := b.healthCheck(dt); err != nil {
 			return err
@@ -111,6 +128,9 @@ func (b *Block) StepChecked(dt float64) error {
 	// follows for the same reason.
 	b.analysisStep()
 	b.costStep()
+	// The critpath deposit barrier runs last: its published record then
+	// reflects the step's full communication pattern, reductions included.
+	b.critStep()
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"github.com/s3dgo/s3d/internal/cost"
+	"github.com/s3dgo/s3d/internal/critpath"
 	"github.com/s3dgo/s3d/internal/insitu"
 	"github.com/s3dgo/s3d/internal/obs"
 	"github.com/s3dgo/s3d/internal/viz"
@@ -66,6 +67,13 @@ type DashboardStatus struct {
 	// verdict of the final record. Nil when no cost store has been copied
 	// in.
 	Balance *BalanceLane `json:"balance,omitempty"`
+
+	// CritPath is the wait-state lane (dashboard/critpath.jsonl, the
+	// critical-path analyzer's store dropped in by the producer): which rank
+	// the critical path ran through, the dominant wait class, and the blamed
+	// region of the final record. Nil when no critpath store has been copied
+	// in.
+	CritPath *CritPathLane `json:"critpath,omitempty"`
 }
 
 // FieldEntry mirrors one entry of the fields.json inventory — the field
@@ -213,6 +221,52 @@ func balanceLane(recs []cost.Record) *BalanceLane {
 	return lane
 }
 
+// CritPathLane surfaces the cross-rank wait-state and critical-path
+// analyzer on the dashboard page: the final record's verdict sentence, the
+// rank the critical path ran through and its share, the dominant wait
+// class, the fraction of aggregate step time lost blocked, and the most
+// blamed call-path region — the "which rank is making steps slow, and in
+// which kernel" glance.
+type CritPathLane struct {
+	Records      int     `json:"records"`
+	LastStep     int     `json:"last_step"`
+	CritRank     int     `json:"crit_rank"`
+	CritShare    float64 `json:"crit_share"`
+	DominantWait string  `json:"dominant_wait"`
+	LostFrac     float64 `json:"lost_frac"`
+	BlamedRegion string  `json:"blamed_region,omitempty"`
+	Verdict      string  `json:"verdict"`
+	// MeanLostFrac averages the lost fraction over every record — one bad
+	// step vs a chronically imbalanced run.
+	MeanLostFrac float64 `json:"mean_lost_frac"`
+}
+
+// critPathLane builds the lane from a loaded critpath store; nil when the
+// store is empty.
+func critPathLane(recs []critpath.Record) *CritPathLane {
+	if len(recs) == 0 {
+		return nil
+	}
+	last := recs[len(recs)-1]
+	lane := &CritPathLane{
+		Records:      len(recs),
+		LastStep:     last.Step,
+		CritRank:     last.CritRank,
+		CritShare:    last.CritShare,
+		DominantWait: last.DominantWait,
+		LostFrac:     last.LostFrac,
+		Verdict:      last.Verdict,
+	}
+	if len(last.Blame) > 0 {
+		lane.BlamedRegion = last.Blame[0].Path
+	}
+	for _, r := range recs {
+		lane.MeanLostFrac += r.LostFrac
+	}
+	lane.MeanLostFrac /= float64(len(recs))
+	return lane
+}
+
 // HealthLane surfaces the run-health watchdog on the dashboard page: the
 // final level, every check that tripped on any step, and the non-ok
 // timeline, so an operator sees a run going bad — and when it started going
@@ -333,6 +387,12 @@ func BuildDashboard(c *Cluster, jobs []Job) (*DashboardStatus, error) {
 	// the CSV; its absence is not an error.
 	if recs, err := cost.ReadCost(filepath.Join(c.Dashboard, "cost.jsonl")); err == nil {
 		status.Balance = balanceLane(recs)
+	}
+
+	// And the critical-path analyzer's store: the producer drops
+	// critpath.jsonl next to the CSV; its absence is not an error.
+	if recs, err := critpath.ReadCritPath(filepath.Join(c.Dashboard, "critpath.jsonl")); err == nil {
+		status.CritPath = critPathLane(recs)
 	}
 
 	for _, name := range status.Variables {

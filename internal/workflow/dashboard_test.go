@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"testing"
+
+	"github.com/s3dgo/s3d/internal/critpath"
 )
 
 func seedMinMax(t *testing.T, c *Cluster) {
@@ -337,5 +339,77 @@ func TestDashboardWithoutAnalysisOmitsLane(t *testing.T) {
 	}
 	if status.Analysis != nil {
 		t.Fatalf("no analysis.jsonl, yet Analysis = %+v", status.Analysis)
+	}
+}
+
+// TestDashboardCritPathLane: a critpath.jsonl store dropped next to the CSV
+// surfaces the wait-state verdict; its absence omits the lane.
+func TestDashboardCritPathLane(t *testing.T) {
+	c, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c)
+	recs := []critpath.Record{
+		{Step: 2, Ranks: 4, CritRank: 2, CritShare: 0.8, DominantWait: "late_sender",
+			LostFrac: 0.30, Verdict: "step 2: ..."},
+		{Step: 4, Ranks: 4, CritRank: 2, CritShare: 0.83, DominantWait: "late_sender",
+			LostFrac: 0.38, Verdict: "step 4: critical path ran through rank 2",
+			Blame: []critpath.RegionBlame{{Path: "STEP/RHS/REACTION_RATE_BOUNDS", Ns: 9e6, Frac: 0.6}}},
+	}
+	var buf []byte
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(c.Dashboard, "critpath.jsonl"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, err := BuildDashboard(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := status.CritPath
+	if lane == nil {
+		t.Fatal("critpath.jsonl present, yet CritPath lane missing")
+	}
+	if lane.Records != 2 || lane.LastStep != 4 || lane.CritRank != 2 {
+		t.Fatalf("lane = %+v", lane)
+	}
+	if lane.DominantWait != "late_sender" || lane.BlamedRegion != "STEP/RHS/REACTION_RATE_BOUNDS" {
+		t.Fatalf("lane verdict fields = %+v", lane)
+	}
+	if lane.MeanLostFrac < 0.33 || lane.MeanLostFrac > 0.35 {
+		t.Fatalf("mean lost frac %v, want 0.34", lane.MeanLostFrac)
+	}
+	// The lane survives the status.json round trip.
+	data, err := os.ReadFile(filepath.Join(c.Dashboard, "status.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DashboardStatus
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CritPath == nil || got.CritPath.CritRank != 2 {
+		t.Fatalf("critpath lane lost in status.json: %+v", got.CritPath)
+	}
+
+	// No store, no lane.
+	c2, err := NewCluster(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedMinMax(t, c2)
+	status2, err := BuildDashboard(c2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status2.CritPath != nil {
+		t.Fatalf("no critpath.jsonl, yet CritPath = %+v", status2.CritPath)
 	}
 }

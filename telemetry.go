@@ -140,6 +140,14 @@ func (s *Simulation) StartTelemetry(opt TelemetryOptions) (*Probe, error) {
 			p.mon.Handle("/cost", cc.Handler())
 		}
 	}
+	// And the critpath analyzer: the critpath_* gauges and the live
+	// /critpath document (the latest analyzed record).
+	if cp := s.blk.CritPath(); cp != nil {
+		cp.AttachMetrics(p.reg)
+		if p.mon != nil {
+			p.mon.Handle("/critpath", cp.Handler())
+		}
+	}
 	return p, nil
 }
 
@@ -225,6 +233,13 @@ func (p *Probe) observe(dt, wall float64) {
 	p.reg.Gauge("solver.mass_drift").Set(ev.MassDrift)
 	p.reg.Gauge("comm.bytes_sent").Set(float64(ev.Comm.BytesSent))
 	p.reg.Gauge("comm.wait_sec").Set(ev.Comm.WaitSec)
+	// Per-neighbor blocked time, maintained by comm.Wait whether or not the
+	// critpath analyzer is armed: who this rank habitually waits on.
+	for peer, ns := range blk.CommWaitByPeer() {
+		if ns > 0 {
+			p.reg.Gauge(fmt.Sprintf("comm.wait_ns.%d", peer)).Set(float64(ns))
+		}
+	}
 	p.reg.Gauge("pario.cache_hit_rate").Set(ev.Pario.CacheHitRate)
 
 	if p.opt.Trace != nil {
