@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/s3dgo/s3d/internal/chem"
+	"github.com/s3dgo/s3d/internal/cost"
 	"github.com/s3dgo/s3d/internal/deriv"
 	"github.com/s3dgo/s3d/internal/flame1d"
 	"github.com/s3dgo/s3d/internal/grid"
@@ -638,6 +639,45 @@ func BenchmarkRHSWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkRHSWorkersWeighted measures what cost-weighted tile planning
+// buys the pool on a reacting case with concentrated stiffness (the 32³
+// hot-sphere box): "uniform" runs the plain one-plane decomposition,
+// "weighted" first advances through two cost records so the balancer
+// installs weight profiles — hot planes split, cheap planes merge — then
+// times the identical RHS evaluation over the re-tiled sweeps. Solutions
+// are bitwise identical between the sub-benchmarks (the partition layer's
+// determinism contract); only the tile shapes — and the us/gp — move.
+func BenchmarkRHSWorkersWeighted(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers > 4 {
+		workers = 4
+	}
+	for _, mode := range []string{"uniform", "weighted"} {
+		b.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(b *testing.B) {
+			pool := par.NewPool(workers)
+			defer pool.Close()
+			blk := rhsBlock(b, pool)
+			c := cost.NewCollector(2)
+			c.Enable()
+			blk.InstallCost(c)
+			if mode == "weighted" {
+				if err := blk.InstallLoadBalance(2, 0.10, 0.05); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Two record cycles: the first installs the profile, the second
+			// confirms it under hysteresis. The uniform side advances the
+			// same steps so both benchmarks time the identical state.
+			blk.Advance(4, 0.4*blk.AcousticDt())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blk.EvalRHS(0)
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(32*32*32)*1e6, "us/gp")
+		})
+	}
+}
+
 // BenchmarkAssembleFluxesFused times the fused flux-assembly kernel alone:
 // one pass per tile over all gradient fields with per-worker enthalpy
 // scratch (the satellite optimisation riding on the tile refactor), once
@@ -834,6 +874,27 @@ func BenchmarkCostOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := on.SubscribeCost(func(CostRecord) {}); err != nil {
+			b.Fatal(err)
+		}
+		return off, on.Advance, nil
+	})
+}
+
+// BenchmarkLBOverhead measures the dynamic load balancer — the cost
+// sampler it rides on at a re-plan cadence of 4, the per-record profile
+// fold and plan derivation, and the weighted-partition execution of the
+// chemistry and flux-assembly sweeps — against an uninstrumented run of
+// the same problem, held to the same 2% budget as the observability
+// layers (methodology: benchCPUOverhead). The serial balancer is pure
+// re-tiling: the bundle path never arms without a cartesian communicator.
+// Between records the per-step cost is the sampler's nil check plus one
+// atomic load, and a weighted sweep's partition is cached on (box,
+// weights) — re-derived only when a re-plan actually changes the profile.
+func BenchmarkLBOverhead(b *testing.B) {
+	benchCPUOverhead(b, "load-balance", func() (*Simulation, func(int, float64), func()) {
+		off, _ := newLiftedBenchSim(b)
+		on, _ := newLiftedBenchSim(b)
+		if err := on.EnableLoadBalance(LoadBalanceSpec{Every: 4}); err != nil {
 			b.Fatal(err)
 		}
 		return off, on.Advance, nil

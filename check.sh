@@ -122,4 +122,18 @@ go test -race -timeout 10m -run TestCritPathSmoke ./cmd/s3d
 echo "== go test -run xxx -bench BenchmarkCritPathOverhead -benchtime 1x ."
 go test -timeout 15m -run xxx -bench BenchmarkCritPathOverhead -benchtime 1x .
 
+# Load-balance gate: bitwise parity with the balancer on (weighted re-tiling
+# and the cross-rank bundle path must not change a single checkpoint byte,
+# at 1/2/4 workers), the 4-rank straggler smoke (chem tile imbalance must
+# collapse under weighted tiling and the deterministic sharing plan must
+# bring the effective rank imbalance to <=1.3x), and the overhead budget:
+# <=2% with the balancer armed on a serial block (CPU-time paired-median
+# gate; run without -race, which would distort the on/off ratio).
+echo "== go test -race -run 'TestLoadBalanceBitwiseParity|TestLoadBalanceRequiresNothing' ."
+go test -race -timeout 15m -run 'TestLoadBalanceBitwiseParity|TestLoadBalanceRequiresNothing' .
+echo "== go test -race -run TestLoadBalanceSmoke ./cmd/s3d"
+go test -race -timeout 10m -run TestLoadBalanceSmoke ./cmd/s3d
+echo "== go test -run xxx -bench BenchmarkLBOverhead -benchtime 1x ."
+go test -timeout 15m -run xxx -bench BenchmarkLBOverhead -benchtime 1x .
+
 echo "CHECK OK"

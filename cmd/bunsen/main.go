@@ -62,6 +62,8 @@ func main() {
 	costEvery := flag.Int("cost-every", 1, "cost reduction cadence in steps")
 	critPath := flag.String("critpath", "", "enable the wait-state & critical-path analyzer per case; records land in per-case JSONL files (case letter inserted before the extension)")
 	critEvery := flag.Int("critpath-every", 1, "critical-path analysis cadence in steps")
+	lbOn := flag.Bool("lb", false, "enable dynamic load balancing per case: cost-weighted tile planning (bitwise identical to the unbalanced run)")
+	lbEvery := flag.Int("lb-every", 10, "load-balance re-plan cadence in steps")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (bitwise interchangeable)")
 	precision := flag.String("precision", "", "per-field storage policy: strict | mixed")
 	flag.Parse()
@@ -87,7 +89,7 @@ func main() {
 	}
 	if *surface || *gradc || all {
 		runCases(lam, *steps, *nx, *ny, *outDir, *surface || all, *gradc || all, *tracePath, *monitorAddr, *profileDir, *flightRec,
-			*analysisPath, *analysisEvery, *costPath, *costEvery, *critPath, *critEvery)
+			*analysisPath, *analysisEvery, *costPath, *costEvery, *critPath, *critEvery, *lbOn, *lbEvery)
 	}
 }
 
@@ -170,7 +172,7 @@ func printTable1(lam flame1d.Properties) {
 }
 
 func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurface, doGradC bool, tracePath, monitorAddr, profileDir, flightRec string,
-	analysisPath string, analysisEvery int, costPath string, costEvery int, critPath string, critEvery int) {
+	analysisPath string, analysisEvery int, costPath string, costEvery int, critPath string, critEvery int, lbOn bool, lbEvery int) {
 	var machines []perf.Machine
 	if profileDir != "" {
 		machines = s3d.ProfileMachines()
@@ -226,6 +228,13 @@ func runCases(lam flame1d.Properties, steps, nx, ny int, outDir string, doSurfac
 				log.Fatal(err)
 			}
 			if err := sim.SubscribeCost(cstore.Sink()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// The load balancer re-tiles the chemistry and flux-assembly sweeps
+		// from the sampler's records (installing the sampler when -cost is off).
+		if lbOn {
+			if err := sim.EnableLoadBalance(s3d.LoadBalanceSpec{Every: lbEvery}); err != nil {
 				log.Fatal(err)
 			}
 		}

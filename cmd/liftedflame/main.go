@@ -46,6 +46,8 @@ func main() {
 	costEvery := flag.Int("cost-every", 1, "cost reduction cadence in steps")
 	critPath := flag.String("critpath", "", "enable the wait-state & critical-path analyzer and append its records (JSONL) to this file")
 	critEvery := flag.Int("critpath-every", 1, "critical-path analysis cadence in steps")
+	lbOn := flag.Bool("lb", false, "enable dynamic load balancing: cost-weighted tile planning (bitwise identical to the unbalanced run)")
+	lbEvery := flag.Int("lb-every", 10, "load-balance re-plan cadence in steps")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (bitwise interchangeable)")
 	precision := flag.String("precision", "", "per-field storage policy: strict | mixed")
 	flag.Parse()
@@ -126,6 +128,13 @@ func main() {
 			fmt.Printf("wrote cost records to %s\n", *costPath)
 		}()
 		if err := sim.SubscribeCost(store.Sink()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The load balancer re-tiles the chemistry and flux-assembly sweeps from
+	// the sampler's records (installing the sampler when -cost is off).
+	if *lbOn {
+		if err := sim.EnableLoadBalance(s3d.LoadBalanceSpec{Every: *lbEvery}); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -64,6 +64,8 @@ func main() {
 	critPath := flag.String("critpath", "", "enable the cross-rank wait-state & critical-path analyzer and append its records (JSONL) to this file; a Chrome-trace overlay lands next to it as critpath_trace.json")
 	critEvery := flag.Int("critpath-every", 1, "critical-path analysis cadence in steps")
 	straggle := flag.Duration("straggle", 0, "slow one rank's chemistry by this much per RK stage (the highest rank in decomposed runs; critpath/cost validation hook)")
+	lbOn := flag.Bool("lb", false, "enable dynamic load balancing: cost-weighted tile planning plus cross-rank chemistry work-sharing in decomposed runs (bitwise identical to the unbalanced run)")
+	lbEvery := flag.Int("lb-every", 10, "load-balance re-plan cadence in steps")
 	backend := flag.String("backend", "", "kernel backend: generic | blocked | auto | per-kernel list (e.g. rk_update=blocked,diff=generic); bitwise interchangeable")
 	precision := flag.String("precision", "", "per-field storage policy: strict (all float64) | mixed (float32 gradients/transport, float64 compute)")
 	flag.Parse()
@@ -98,7 +100,7 @@ func main() {
 	if *ranks != "" {
 		runDecomposed(prob, *ranks, *steps, tr, *monitorAddr, *perfReport, *profileDir,
 			*healthOn, *flightRec, *injectNaN, *analysisPath, *analysisEvery, *costPath, *costEvery,
-			*critPath, *critEvery, *straggle)
+			*critPath, *critEvery, *straggle, *lbOn, *lbEvery)
 		return
 	}
 	sim, err := prob.NewSimulation()
@@ -128,6 +130,14 @@ func main() {
 	if *costPath != "" {
 		store := enableCost(sim, *costPath, *costEvery)
 		defer closeCostStore(store, *costPath)
+	}
+	// The load balancer folds the sampler's records into weight profiles
+	// (installing the sampler itself when -cost is off); balanced runs stay
+	// bitwise identical to unbalanced ones.
+	if *lbOn {
+		if err := sim.EnableLoadBalance(s3d.LoadBalanceSpec{Every: *lbEvery}); err != nil {
+			log.Fatal(err)
+		}
 	}
 	// And the critpath analyzer, same ordering rule; serial runs still get
 	// per-step blame (no message edges, but the step window and regions).
@@ -394,7 +404,7 @@ func buildProblem(name string, nx, ny, nz int) *s3d.Problem {
 
 func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, monitorAddr string, perfReport bool, profileDir string,
 	healthOn bool, flightRec string, injectNaN int, analysisPath string, analysisEvery int, costPath string, costEvery int,
-	critPath string, critEvery int, straggle time.Duration) {
+	critPath string, critEvery int, straggle time.Duration, lbOn bool, lbEvery int) {
 	var dims [3]int
 	if n, err := fmt.Sscanf(strings.ToLower(ranks), "%dx%dx%d", &dims[0], &dims[1], &dims[2]); n != 3 || err != nil {
 		log.Fatalf("bad -ranks %q (want e.g. 2x2x1)", ranks)
@@ -495,6 +505,14 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 				}
 			}
 		}
+		// The load balancer is collective in effect — every rank folds the
+		// identical record into identical plans — so every rank enables the
+		// identical spec.
+		if lbOn {
+			if err := r.EnableLoadBalance(s3d.LoadBalanceSpec{Every: lbEvery}); err != nil {
+				panic(err)
+			}
+		}
 		// The straggler hook slows the highest rank, so the analyzer (and
 		// the cost imbalance analytics) have a known culprit to find.
 		if straggle > 0 && r.Rank == nRanks-1 {
@@ -539,6 +557,10 @@ func runDecomposed(prob *s3d.Problem, ranks string, steps int, tr *obs.Trace, mo
 		}
 		lo, hi, _ := r.MinMax("T")
 		fmt.Printf("rank %d offset %v: T=[%.0f,%.0f]\n", r.Rank, r.Offset, lo, hi)
+		if lbOn {
+			exp, imp := r.LoadBalanceStats()
+			fmt.Printf("rank %d load balance: exported %d imported %d cells\n", r.Rank, exp, imp)
+		}
 		if perfReport {
 			mu.Lock()
 			agg.Merge(r.PerfTimers().Snapshot())

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/s3dgo/s3d"
+	"github.com/s3dgo/s3d/internal/cost"
 	"github.com/s3dgo/s3d/internal/health"
 )
 
@@ -285,5 +286,83 @@ func TestAnalysisSmoke(t *testing.T) {
 				t.Fatalf("record %d missing product %q (have %v)", i, want, seen)
 			}
 		}
+	}
+}
+
+// TestLoadBalanceSmoke drives the real CLI on a 4-rank igniting lifted jet
+// with a straggler and dynamic load balancing, and validates the effect in
+// the deterministic cost stream. The §6.2 downstream ignition kernel makes
+// the chemistry genuinely lopsided on a 4x1x1 decomposition: the first
+// record captures the unbalanced one-plane tiles; once the balancer has
+// re-tiled from that record the chemistry tile imbalance must collapse.
+// RankTotals stay owner-attributed (they measure where the cost lives, not
+// who computed it — the balancer's feedback must not self-correct), so the
+// cross-rank effect is checked through the deterministic sharing plan every
+// rank derives from the record: post-transfer effective totals must land
+// within the balancer's slack of uniform.
+func TestLoadBalanceSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpath := filepath.Join(dir, "cost.jsonl")
+	os.Args = []string{"s3d",
+		"-problem", "liftedjet", "-nx", "48", "-ny", "24", "-nz", "1",
+		"-steps", "4", "-ranks", "4x1x1", "-workers", "2",
+		"-out", filepath.Join(dir, "out"),
+		"-cost", cpath, "-cost-every", "2",
+		"-lb", "-lb-every", "2",
+		"-straggle", "10ms",
+	}
+	main()
+
+	recs, err := s3d.ReadCost(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 { // steps 2 and 4 at cadence 2
+		t.Fatalf("got %d cost records, want 2", len(recs))
+	}
+	chemImb := func(rec s3d.CostRecord) float64 {
+		for _, ks := range rec.Kernels {
+			if ks.Kernel == "REACTION_RATE_BOUNDS" {
+				return ks.Imbalance
+			}
+		}
+		t.Fatalf("record %d has no chemistry kernel", rec.Step)
+		return 0
+	}
+	// Tile-level: the weighted re-tiling installed from record 1 must show
+	// up in record 2 as a collapsed per-tile spread.
+	before, after := chemImb(recs[0]), chemImb(recs[1])
+	if before < 1.5 {
+		t.Fatalf("unbalanced chemistry tile imbalance = %.3g, want the ignition kernel to make it > 1.5", before)
+	}
+	if after >= 0.5*before {
+		t.Fatalf("re-tiling did not collapse tile imbalance: %.3g -> %.3g", before, after)
+	}
+	// Rank-level: the raw decomposition is badly imbalanced, and the
+	// deterministic sharing plan (what every rank executes) must bring the
+	// effective per-rank work within 1.3x of the mean.
+	last := recs[1]
+	if last.RankImbalance < 1.5 {
+		t.Fatalf("raw rank imbalance = %.3g, want > 1.5 on the igniting 4-rank jet", last.RankImbalance)
+	}
+	eff := append([]float64(nil), last.RankTotals...)
+	transfers := cost.PlanSharing(last.RankTotals, 0.05) // the installed default slack
+	if len(transfers) == 0 {
+		t.Fatal("sharing plan is empty on an imbalanced record")
+	}
+	for _, tr := range transfers {
+		eff[tr.From] -= tr.Work
+		eff[tr.To] += tr.Work
+	}
+	var max, sum float64
+	for _, v := range eff {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	effImb := max / (sum / float64(len(eff)))
+	if effImb > 1.3 {
+		t.Fatalf("post-transfer effective rank imbalance = %.3g, want <= 1.3 (raw %.3g)", effImb, last.RankImbalance)
 	}
 }

@@ -242,7 +242,7 @@ func TestCostLiveEndpoints(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("GET /fields = %d", code)
 	}
-	for _, name := range []string{"cost_chem", "cost_density"} {
+	for _, name := range []string{"cost_chem", "cost_density", "cost_owner"} {
 		if !strings.Contains(fields, name) {
 			t.Fatalf("GET /fields missing %s:\n%s", name, fields)
 		}
@@ -253,7 +253,7 @@ func TestCostLiveEndpoints(t *testing.T) {
 	}
 	seen := 0
 	for _, fi := range inv.Fields {
-		if fi.Name == "cost_chem" || fi.Name == "cost_density" {
+		if fi.Name == "cost_chem" || fi.Name == "cost_density" || fi.Name == "cost_owner" {
 			seen++
 			if fi.Role != "cost" {
 				t.Fatalf("%s role = %q, want cost", fi.Name, fi.Role)
@@ -263,8 +263,8 @@ func TestCostLiveEndpoints(t *testing.T) {
 			}
 		}
 	}
-	if seen != 2 {
-		t.Fatalf("found %d cost fields in the inventory, want 2", seen)
+	if seen != 3 {
+		t.Fatalf("found %d cost fields in the inventory, want 3", seen)
 	}
 }
 

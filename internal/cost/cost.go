@@ -72,6 +72,47 @@ var Kernels = []string{
 // (cost ∝ cells).
 const ChemKernel = "REACTION_RATE_BOUNDS"
 
+// AssemblyKernel is the fused flux-assembly sweep — the second kernel the
+// load balancer re-tiles (by total work density: uniform base plus the
+// chemistry proxy), since it dominates the non-chemistry step time.
+const AssemblyKernel = "ASSEMBLE_FLUXES"
+
+// MeasuredOnly lists the non-spatial item-sweep labels the measured
+// wall-clock side channel tracks in addition to Kernels. They never enter
+// the deterministic fold — their item counts vary per rank and per step, so
+// a fold slot would break the collective's fixed vector length — but their
+// run counts and sampled timings belong in the /cost measured section all
+// the same (halo pack/unpack wait is exactly the kind of time a cost study
+// must not lose).
+var MeasuredOnly = []string{
+	"GHOST_EXCHANGE",
+	"RK_UPDATE",
+}
+
+// MeasuredLabels returns the full measured-window label list: the curated
+// fold kernels followed by the measured-only item sweeps, in window order.
+func MeasuredLabels() []string {
+	out := make([]string, 0, len(Kernels)+len(MeasuredOnly))
+	out = append(out, Kernels...)
+	return append(out, MeasuredOnly...)
+}
+
+// measuredIndex maps a plan label to its measured-window slot (-1 when the
+// label is not tracked).
+func measuredIndex(label string) int {
+	for i, k := range Kernels {
+		if k == label {
+			return i
+		}
+	}
+	for i, k := range MeasuredOnly {
+		if k == label {
+			return len(Kernels) + i
+		}
+	}
+	return -1
+}
+
 // DefaultWhatIfWorkers is the reference worker count the what-if estimator
 // evaluates at. It is fixed (not the live pool size) so records are
 // independent of the machine the run lands on.
@@ -162,9 +203,9 @@ type Collector struct {
 	enabled atomic.Bool
 	armed   atomic.Bool // collection window open (due step in flight)
 
-	// Window state, indexed by position in Kernels. Arm, BeginRun, EndRun
-	// and SnapshotMeasured all execute on the plan's owner goroutine (plan
-	// runs never nest), so the probe path touches it without locks.
+	// Window state, indexed by position in MeasuredLabels(). Arm, BeginRun,
+	// EndRun and SnapshotMeasured all execute on the plan's owner goroutine
+	// (plan runs never nest), so the probe path touches it without locks.
 	window []measAgg
 
 	mu       sync.Mutex
@@ -202,7 +243,7 @@ func NewCollector(every int) *Collector {
 	return &Collector{
 		every:         every,
 		whatIfWorkers: DefaultWhatIfWorkers,
-		window:        make([]measAgg, len(Kernels)),
+		window:        make([]measAgg, len(Kernels)+len(MeasuredOnly)),
 	}
 }
 
@@ -246,13 +287,7 @@ func (c *Collector) Armed() bool { return c.armed.Load() }
 // unwrapped, so a micro-run kernel costs the armed probe one label scan
 // and two counter bumps per run, no clock reads, no allocation.
 func (c *Collector) BeginRun(label string, tiles int) par.RunRecorder {
-	idx := -1
-	for i, k := range Kernels {
-		if k == label {
-			idx = i
-			break
-		}
-	}
+	idx := measuredIndex(label)
 	if idx < 0 {
 		return nil
 	}
@@ -272,7 +307,7 @@ func (c *Collector) BeginRun(label string, tiles int) par.RunRecorder {
 
 type runRec struct {
 	c      *Collector
-	idx    int // position in Kernels
+	idx    int // position in MeasuredLabels()
 	start  time.Time
 	sec    []float64
 	worker []int
@@ -307,14 +342,15 @@ func (r *runRec) EndRun() {
 }
 
 // SnapshotMeasured renders the current window as the measured section, in
-// curated-kernel order, and retains it for the next Publish. regionS, when
-// non-nil, carries each kernel's region-timer seconds over the window
-// (aligned with Kernels) — the solver's always-on timers, the exact
-// per-kernel totals the sampled probe deliberately does not re-measure.
-// Owner goroutine only, like the probe path that fills the window.
+// measured-label order (curated kernels first, then the measured-only item
+// sweeps), and retains it for the next Publish. regionS, when non-nil,
+// carries each label's region-timer seconds over the window (aligned with
+// MeasuredLabels) — the solver's always-on timers, the exact per-kernel
+// totals the sampled probe deliberately does not re-measure. Owner
+// goroutine only, like the probe path that fills the window.
 func (c *Collector) SnapshotMeasured(regionS []float64) []MeasuredKernel {
 	var out []MeasuredKernel
-	for i, k := range Kernels {
+	for i, k := range MeasuredLabels() {
 		a := &c.window[i]
 		if a.tiles == 0 {
 			continue

@@ -1,0 +1,112 @@
+package cost
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlannerAdoptsFirstProfile(t *testing.T) {
+	p := NewPlanner(5, 0.1)
+	prof, changed := p.Fold(2, []float64{1, 2, 3})
+	if !changed || !reflect.DeepEqual(prof, []float64{1, 2, 3}) {
+		t.Fatalf("first Fold: changed=%v prof=%v", changed, prof)
+	}
+}
+
+func TestPlannerCadenceAndHysteresis(t *testing.T) {
+	p := NewPlanner(4, 0.1)
+	p.Fold(2, []float64{10, 10, 10})
+
+	// Within the cadence: kept even for a big move.
+	if _, changed := p.Fold(4, []float64{100, 0, 0}); changed {
+		t.Fatal("profile adopted inside the cadence window")
+	}
+	// Past the cadence but under hysteresis: kept.
+	if _, changed := p.Fold(6, []float64{10.5, 10, 10}); changed {
+		t.Fatal("profile adopted under hysteresis")
+	}
+	// The keep above restarted the cadence clock.
+	if _, changed := p.Fold(8, []float64{100, 0, 0}); changed {
+		t.Fatal("cadence clock not restarted by hysteresis keep")
+	}
+	// Past the cadence with a real move: adopted.
+	prof, changed := p.Fold(10, []float64{100, 0, 0})
+	if !changed || prof[0] != 100 {
+		t.Fatalf("profile not adopted past cadence: changed=%v prof=%v", changed, prof)
+	}
+	installs, keeps := p.Stats()
+	if installs != 2 || keeps != 3 {
+		t.Fatalf("stats = (%d, %d), want (2, 3)", installs, keeps)
+	}
+}
+
+func TestPlanSharingBalanced(t *testing.T) {
+	if tr := PlanSharing([]float64{100, 100, 100, 100}, 0.05); tr != nil {
+		t.Fatalf("balanced totals produced transfers: %v", tr)
+	}
+	if tr := PlanSharing([]float64{100, 104, 96, 100}, 0.05); tr != nil {
+		t.Fatalf("within-slack totals produced transfers: %v", tr)
+	}
+	if tr := PlanSharing([]float64{0, 0}, 0.05); tr != nil {
+		t.Fatalf("zero totals produced transfers: %v", tr)
+	}
+	if tr := PlanSharing([]float64{42}, 0.05); tr != nil {
+		t.Fatalf("single rank produced transfers: %v", tr)
+	}
+}
+
+func TestPlanSharingStragglerCase(t *testing.T) {
+	// The 4-rank straggler shape: two hot ranks, two near-idle ones.
+	totals := []float64{990, 10, 990, 10}
+	tr := PlanSharing(totals, 0.05)
+	if len(tr) == 0 {
+		t.Fatal("no transfers for a 2.0x imbalanced case")
+	}
+	after := append([]float64(nil), totals...)
+	for _, x := range tr {
+		if x.From == x.To || x.Work <= 0 {
+			t.Fatalf("degenerate transfer %+v", x)
+		}
+		after[x.From] -= x.Work
+		after[x.To] += x.Work
+	}
+	// Donors and recipients must be disjoint sets (bipartite exchange).
+	role := map[int]int{}
+	for _, x := range tr {
+		if role[x.From] == -1 || role[x.To] == +1 {
+			t.Fatalf("rank is both donor and recipient: %v", tr)
+		}
+		role[x.From], role[x.To] = +1, -1
+	}
+	// Post-transfer totals land within slack of the mean.
+	mean := 500.0
+	for r, v := range after {
+		if v > mean*1.06 || v < mean*0.94 {
+			t.Fatalf("rank %d still carries %g after sharing (mean %g): %v", r, v, mean, tr)
+		}
+	}
+	// Determinism: same input, same assignment.
+	if !reflect.DeepEqual(tr, PlanSharing(totals, 0.05)) {
+		t.Fatal("PlanSharing is not deterministic")
+	}
+}
+
+func TestMeasuredLabelsLayout(t *testing.T) {
+	labels := MeasuredLabels()
+	if len(labels) != len(Kernels)+len(MeasuredOnly) {
+		t.Fatalf("MeasuredLabels length %d", len(labels))
+	}
+	for i, k := range Kernels {
+		if measuredIndex(k) != i {
+			t.Fatalf("kernel %s at measured index %d, want %d", k, measuredIndex(k), i)
+		}
+	}
+	for i, k := range MeasuredOnly {
+		if measuredIndex(k) != len(Kernels)+i {
+			t.Fatalf("measured-only %s at index %d", k, measuredIndex(k))
+		}
+	}
+	if measuredIndex("NO_SUCH_KERNEL") != -1 {
+		t.Fatal("unknown label has a measured index")
+	}
+}

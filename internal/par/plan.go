@@ -54,6 +54,12 @@ func splitAxis(r Range, frozen int) int {
 	return best
 }
 
+// SweepAxis exposes the plan's tiling-axis choice for a box with no frozen
+// axis: the axis unweighted sweeps split along and weighted partitions
+// index their plane profiles by. Callers building per-plane weight
+// profiles (the solver's load balancer) must aggregate along this axis.
+func SweepAxis(r Range) int { return splitAxis(r, -1) }
+
 // tileOf cuts plane idx (grain: one plane) along axis ax out of r.
 func tileOf(r Range, ax, idx int) Tile {
 	t := Tile{Range: r, Index: idx}
@@ -93,8 +99,23 @@ type Plan struct {
 	red  []float64 // ordered per-tile reduction slots
 	cost CostProbe
 
+	// weights holds the per-kernel weight profiles installed by SetWeights;
+	// a labelled sweep with a profile executes the weighted Partition
+	// instead of the one-plane split. Owner-goroutine only.
+	weights map[string]*weightedLabel
+
 	reg      *obs.Registry
 	counters map[string]*obs.Counter // per-kernel tile counters, lazy
+}
+
+// weightedLabel is one kernel's installed weight profile plus its cached
+// partition (recomputed when the sweep box or frozen axis changes).
+type weightedLabel struct {
+	w      []float64
+	budget float64
+	part   *Partition
+	r      Range
+	frozen int
 }
 
 // NewPlan builds a plan over the given pool (nil selects Default()).
@@ -125,6 +146,51 @@ func (pl *Plan) AttachMetrics(reg *obs.Registry) {
 // goroutine only; the probe's Armed gate keeps the disabled overhead to one
 // atomic load per run.
 func (pl *Plan) SetCost(p CostProbe) { pl.cost = p }
+
+// SetWeights installs (or, with an empty profile, removes) a per-plane
+// weight profile for the labelled kernel: its sweeps then execute the
+// cost-weighted Partition instead of the one-plane split. budget, when
+// positive, is the global target weight per tile (see NewPartition). The
+// profile is copied; the decomposition it produces depends only on (box,
+// frozen axis, profile, budget), so installing the same profile on every
+// rank-local plan keeps reductions bitwise deterministic at any worker
+// count. Owner-goroutine only.
+func (pl *Plan) SetWeights(label string, w []float64, budget float64) {
+	if len(w) == 0 {
+		delete(pl.weights, label)
+		return
+	}
+	if pl.weights == nil {
+		pl.weights = map[string]*weightedLabel{}
+	}
+	pl.weights[label] = &weightedLabel{w: append([]float64(nil), w...), budget: budget}
+}
+
+// HasWeights reports whether the label has an installed weight profile.
+func (pl *Plan) HasWeights(label string) bool {
+	_, ok := pl.weights[label]
+	return ok
+}
+
+// PartitionFor returns the tile decomposition Run/RunFrozen would execute
+// for (label, r, frozen): the weighted partition when SetWeights installed
+// a profile for the label, the one-plane split otherwise.
+func (pl *Plan) PartitionFor(label string, r Range, frozen int) *Partition {
+	if wl := pl.weights[label]; wl != nil {
+		return pl.partitionOf(wl, r, frozen)
+	}
+	return NewPartition(r, frozen, nil, 0)
+}
+
+// partitionOf returns the label's cached weighted partition, recomputing it
+// when the sweep geometry changed since the profile was installed.
+func (pl *Plan) partitionOf(wl *weightedLabel, r Range, frozen int) *Partition {
+	if wl.part == nil || wl.r != r || wl.frozen != frozen {
+		wl.part = NewPartition(r, frozen, wl.w, wl.budget)
+		wl.r, wl.frozen = r, frozen
+	}
+	return wl.part
+}
 
 // count bumps the kernel's tile counter (no-op without a registry).
 func (pl *Plan) count(label string, tiles int) {
@@ -158,9 +224,14 @@ func (pl *Plan) RunFrozen(label string, r Range, frozen int, fn func(t Tile, wor
 	if r.Empty() {
 		return
 	}
-	ax := splitAxis(r, frozen)
-	n := 1
-	if ax >= 0 {
+	// Weighted labels execute their Partition; everything else keeps the
+	// allocation-free one-plane split inline.
+	var part *Partition
+	ax, n := -1, 1
+	if wl := pl.weights[label]; wl != nil {
+		part = pl.partitionOf(wl, r, frozen)
+		n = part.Len()
+	} else if ax = splitAxis(r, frozen); ax >= 0 {
 		n = r.Ext(ax)
 	}
 	pl.count(label, n)
@@ -175,18 +246,66 @@ func (pl *Plan) RunFrozen(label string, r Range, frozen int, fn func(t Tile, wor
 			defer rec.EndRun()
 		}
 	}
+	tileAt := func(idx int) Tile {
+		if part != nil {
+			return part.Tile(idx)
+		}
+		return tileOf(r, ax, idx)
+	}
 	if pl.pool.n == 1 || n == 1 {
 		// Serial fast path: execute the same tile decomposition inline on
 		// the owner, keeping results bitwise identical to the pooled path.
 		for idx := 0; idx < n; idx++ {
-			fn(tileOf(r, ax, idx), 0)
+			fn(tileAt(idx), 0)
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for idx := 0; idx < n; idx++ {
-		pl.pool.submit(task{label: label, fn: fn, tile: tileOf(r, ax, idx), wg: &wg})
+		pl.pool.submit(task{label: label, fn: fn, tile: tileAt(idx), wg: &wg})
+	}
+	wg.Wait()
+}
+
+// RunTiles executes fn over an explicit tile list — the work-sharing donor's
+// retained subset of a partition. Tiles keep their original Index (so
+// reduction-slot writes stay aligned with the full partition); the probe
+// sample records them positionally.
+func (pl *Plan) RunTiles(label string, tiles []Tile, fn func(t Tile, worker int)) {
+	n := len(tiles)
+	if n == 0 {
+		return
+	}
+	pl.count(label, n)
+	var rec RunRecorder
+	if pl.cost != nil && pl.cost.Armed() {
+		rec = pl.cost.BeginRun(label, n)
+	}
+	if rec != nil {
+		defer rec.EndRun()
+	}
+	run := func(pos, w int) {
+		t := tiles[pos]
+		if rec == nil {
+			fn(t, w)
+			return
+		}
+		start := time.Now()
+		fn(t, w)
+		rec.Tile(pos, w, time.Since(start).Seconds(), t.Ext(0)*t.Ext(1)*t.Ext(2))
+	}
+	if pl.pool.n == 1 || n == 1 {
+		for pos := 0; pos < n; pos++ {
+			run(pos, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for pos := 0; pos < n; pos++ {
+		pos := pos
+		pl.pool.submit(task{label: label, fn: func(_ Tile, w int) { run(pos, w) }, wg: &wg})
 	}
 	wg.Wait()
 }
@@ -201,9 +320,10 @@ func (pl *Plan) RunReduce(label string, r Range, fn func(t Tile, worker int) flo
 	if r.Empty() {
 		return 0
 	}
-	ax := splitAxis(r, -1)
 	n := 1
-	if ax >= 0 {
+	if wl := pl.weights[label]; wl != nil {
+		n = pl.partitionOf(wl, r, -1).Len()
+	} else if ax := splitAxis(r, -1); ax >= 0 {
 		n = r.Ext(ax)
 	}
 	if cap(pl.red) < n {
@@ -222,12 +342,26 @@ func (pl *Plan) RunReduce(label string, r Range, fn func(t Tile, worker int) flo
 
 // RunItems executes fn for every item index in [0, n) — the degenerate
 // 1-D decomposition used for per-field work such as halo pack/unpack,
-// where each item already writes a disjoint region.
+// where each item already writes a disjoint region. Item sweeps route
+// through the cost probe like tiled runs do (items report zero cells), so
+// halo pack/unpack and RK-update work shows up in the measured side channel
+// of the cost document instead of being invisible to the sampler.
 func (pl *Plan) RunItems(label string, n int, fn func(item, worker int)) {
 	if n <= 0 {
 		return
 	}
 	pl.count(label, n)
+	if pl.cost != nil && pl.cost.Armed() {
+		if rec := pl.cost.BeginRun(label, n); rec != nil {
+			inner := fn
+			fn = func(item, w int) {
+				start := time.Now()
+				inner(item, w)
+				rec.Tile(item, w, time.Since(start).Seconds(), 0)
+			}
+			defer rec.EndRun()
+		}
+	}
 	if pl.pool.n == 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			fn(i, 0)

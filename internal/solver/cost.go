@@ -22,14 +22,20 @@ import (
 func (b *Block) InstallCost(c *cost.Collector) {
 	b.costC = c
 	b.cSlots, b.cFold, b.cRegionBase = nil, nil, nil
+	b.cTiles = 0
 	if c == nil {
+		// The balancer cannot outlive its record source: detach it and the
+		// weight profiles it installed.
+		b.lb = nil
+		b.plan.SetWeights(cost.ChemKernel, nil, 0)
+		b.plan.SetWeights(cost.AssemblyKernel, nil, 0)
 		b.plan.SetCost(nil)
 		return
 	}
 	b.plan.SetCost(c)
 	b.cSlots = make([]float64, b.healthTiles(b.interior()))
 	b.cFold = make([]float64, cost.FoldLen(b.Ranks()))
-	b.cRegionBase = make([]float64, len(cost.Kernels))
+	b.cRegionBase = make([]float64, len(cost.MeasuredLabels()))
 }
 
 // costArm opens the collection window for the step about to run: it arms
@@ -39,7 +45,7 @@ func (b *Block) InstallCost(c *cost.Collector) {
 func (b *Block) costArm(dt float64) {
 	b.costDt = dt
 	b.costC.Arm(true)
-	for i, k := range cost.Kernels {
+	for i, k := range cost.MeasuredLabels() {
 		b.cRegionBase[i] = 0
 		if r := b.Timers.Region(k); r != nil {
 			b.cRegionBase[i] = r.Inclusive.Seconds()
@@ -47,13 +53,14 @@ func (b *Block) costArm(dt float64) {
 	}
 }
 
-// costRegionDeltas returns the per-kernel region-timer seconds accumulated
-// since costArm, aligned with cost.Kernels. DIVERGENCE shares the
+// costRegionDeltas returns the per-label region-timer seconds accumulated
+// since costArm, aligned with cost.MeasuredLabels. DIVERGENCE shares the
 // DERIVATIVES timer, so its slot stays zero and its time lands in the
 // DERIVATIVES entry.
 func (b *Block) costRegionDeltas() []float64 {
-	out := make([]float64, len(cost.Kernels))
-	for i, k := range cost.Kernels {
+	labels := cost.MeasuredLabels()
+	out := make([]float64, len(labels))
+	for i, k := range labels {
 		if r := b.Timers.Region(k); r != nil {
 			out[i] = r.Inclusive.Seconds() - b.cRegionBase[i]
 		}
@@ -94,20 +101,37 @@ func (b *Block) costStep() {
 	})
 
 	// Canonical per-kernel tile costs: the chemistry kernel carries the
-	// merged per-tile proxy sums (ascending tile order — the slots were
-	// written by disjoint tiles); every other curated kernel is modelled as
-	// uniform, one unit per swept cell, so its plane tiles cost equally.
-	chemCosts := append([]float64(nil), b.cSlots[:n]...)
-	cellsPerTile := float64(r.Ext(0)*r.Ext(1)*r.Ext(2)) / float64(n)
-	uniform := make([]float64, n)
-	for i := range uniform {
-		uniform[i] = cellsPerTile
+	// per-tile proxy sums over its current partition (ascending tile order —
+	// the slots were written by disjoint tiles); every other curated kernel
+	// is modelled as uniform, one unit per swept cell, so its per-tile cost
+	// is its tile cell count — equal plane tiles on the unweighted split,
+	// the partition's variable extents when the balancer re-tiled it.
+	nChem := b.cTiles
+	if nChem <= 0 || nChem > len(b.cSlots) {
+		nChem = n // inert runs: chemSource never sized the partition
 	}
+	chemCosts := append([]float64(nil), b.cSlots[:nChem]...)
+	var uniform []float64
 	tileCosts := make(map[string][]float64, len(cost.Kernels))
 	for _, k := range cost.Kernels {
-		if k == cost.ChemKernel {
+		switch {
+		case k == cost.ChemKernel:
 			tileCosts[k] = chemCosts
-		} else {
+		case b.plan.HasWeights(k):
+			p := b.plan.PartitionFor(k, r, -1)
+			v := make([]float64, p.Len())
+			for i := range v {
+				v[i] = float64(p.Cells(i))
+			}
+			tileCosts[k] = v
+		default:
+			if uniform == nil {
+				cellsPerTile := float64(r.Ext(0)*r.Ext(1)*r.Ext(2)) / float64(n)
+				uniform = make([]float64, n)
+				for i := range uniform {
+					uniform[i] = cellsPerTile
+				}
+			}
 			tileCosts[k] = uniform
 		}
 	}
@@ -131,5 +155,9 @@ func (b *Block) costStep() {
 	c.SnapshotMeasured(b.costRegionDeltas())
 	c.Arm(false)
 	c.Publish(rec)
+	// Feed the balancer last: every rank holds the identical record, so the
+	// weight profiles and the sharing assignment it derives are identical
+	// too — the next final-stage exchange needs no negotiation.
+	b.lbPlan(&rec)
 	reg.End()
 }

@@ -415,57 +415,35 @@ func (b *Block) chemSource() {
 		// chemistry region so the critpath analyzer blames the right kernel.
 		time.Sleep(d)
 	}
-	ns := b.ns
-	species := b.mech.Set.Species
 	// On the final RK stage of a cost-due step the deterministic chemistry
 	// work proxy piggybacks on this sweep: reactor.SubstepRate on the cell
 	// state yields the substep demand an adaptive integrator would pay — a
 	// pure function of the state, bitwise reproducible at any worker count,
 	// written to the cost_chem map and summed into ordered per-tile slots.
 	doCost := b.collectCost
-	tile := func(t par.Tile, worker int, collect bool) float64 {
-		ws := &b.ws[worker]
-		var hrr, tileCost float64
-		for k := t.Lo[2]; k < t.Hi[2]; k++ {
-			for j := t.Lo[1]; j < t.Hi[1]; j++ {
-				for i := t.Lo[0]; i < t.Hi[0]; i++ {
-					rho := b.Rho.At(i, j, k)
-					T := b.T.At(i, j, k)
-					for n := 0; n < ns; n++ {
-						ws.cw[n] = rho * b.Y[n].At(i, j, k) / species[n].W
-					}
-					ws.mech.ProductionRates(T, ws.cw, ws.wdot)
-					for n := 0; n < ns-1; n++ {
-						b.rhs[iY0+n].Add(i, j, k, species[n].W*ws.wdot[n])
-					}
-					if collect {
-						hrr += ws.mech.HeatReleaseRate(T, ws.wdot) * b.cellVol(i, j, k)
-					}
-					if doCost {
-						// Species relative-change limit only: y and dydt fall
-						// out of the concentrations and rates this sweep just
-						// computed. The temperature term would need cp and
-						// enthalpy polynomial sweeps — far too heavy for a
-						// piggyback, and the stiff-radical species limits
-						// dominate it anyway (the 1e-6 mass-fraction floor
-						// makes trace radicals the binding constraint).
-						inv := 1 / rho
-						for n := 0; n < ns; n++ {
-							ws.yw[n] = ws.cw[n] * species[n].W * inv
-							ws.hw[n] = species[n].W * ws.wdot[n] * inv
-						}
-						rate := reactor.SubstepRate(T, ws.yw, ws.hw, 0, 0)
-						s := cost.Substeps(rate, b.costDt)
-						b.costChemF.Set(i, j, k, s)
-						tileCost += s
-					}
-				}
-			}
+	if doCost {
+		// The partition can hold more tiles than the one-plane split (hot
+		// planes split along a secondary axis): size the ordered slots to it.
+		n := b.plan.PartitionFor(cost.ChemKernel, b.interior(), -1).Len()
+		if n > len(b.cSlots) {
+			b.cSlots = make([]float64, n)
 		}
+		b.cTiles = n
+	}
+	if b.lbShare && b.lb != nil && (len(b.lb.exports) > 0 || len(b.lb.imports) > 0) {
+		b.chemSourceShared()
+		return
+	}
+	tile := func(t par.Tile, worker int, collect bool) float64 {
+		hrr, tileCost := b.chemTileSweep(t, worker, collect, doCost)
 		if doCost {
 			b.cSlots[t.Index] = tileCost
 		}
 		return hrr
+	}
+	if doCost && b.lb != nil {
+		// Owner attribution: everything was computed locally this stage.
+		b.lbFillOwner(nil)
 	}
 	if b.collectHRR {
 		b.hrrAcc = b.plan.RunReduce("REACTION_RATE_BOUNDS", b.interior(),
@@ -474,4 +452,52 @@ func (b *Block) chemSource() {
 	}
 	b.plan.Run("REACTION_RATE_BOUNDS", b.interior(),
 		func(t par.Tile, w int) { tile(t, w, false) })
+}
+
+// chemTileSweep evaluates the chemistry kernel over one tile: production
+// rates added to the species equations, plus (flagged) the heat-release
+// integrand sum and the substep-proxy sum with its cost_chem writes. The
+// per-cell arithmetic and the k-j-i accumulation order are the bitwise
+// contract the work-sharing reply path reproduces remotely.
+func (b *Block) chemTileSweep(t par.Tile, worker int, collect, doCost bool) (hrr, tileCost float64) {
+	ns := b.ns
+	species := b.mech.Set.Species
+	ws := &b.ws[worker]
+	for k := t.Lo[2]; k < t.Hi[2]; k++ {
+		for j := t.Lo[1]; j < t.Hi[1]; j++ {
+			for i := t.Lo[0]; i < t.Hi[0]; i++ {
+				rho := b.Rho.At(i, j, k)
+				T := b.T.At(i, j, k)
+				for n := 0; n < ns; n++ {
+					ws.cw[n] = rho * b.Y[n].At(i, j, k) / species[n].W
+				}
+				ws.mech.ProductionRates(T, ws.cw, ws.wdot)
+				for n := 0; n < ns-1; n++ {
+					b.rhs[iY0+n].Add(i, j, k, species[n].W*ws.wdot[n])
+				}
+				if collect {
+					hrr += ws.mech.HeatReleaseRate(T, ws.wdot) * b.cellVol(i, j, k)
+				}
+				if doCost {
+					// Species relative-change limit only: y and dydt fall
+					// out of the concentrations and rates this sweep just
+					// computed. The temperature term would need cp and
+					// enthalpy polynomial sweeps — far too heavy for a
+					// piggyback, and the stiff-radical species limits
+					// dominate it anyway (the 1e-6 mass-fraction floor
+					// makes trace radicals the binding constraint).
+					inv := 1 / rho
+					for n := 0; n < ns; n++ {
+						ws.yw[n] = ws.cw[n] * species[n].W * inv
+						ws.hw[n] = species[n].W * ws.wdot[n] * inv
+					}
+					rate := reactor.SubstepRate(T, ws.yw, ws.hw, 0, 0)
+					s := cost.Substeps(rate, b.costDt)
+					b.costChemF.Set(i, j, k, s)
+					tileCost += s
+				}
+			}
+		}
+	}
+	return hrr, tileCost
 }

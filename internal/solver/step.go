@@ -92,6 +92,10 @@ func (b *Block) StepChecked(dt float64) error {
 		}
 		// The chemistry work proxy piggybacks on the same final-stage sweep.
 		b.collectCost = b.costDue && rhsCall == nStages
+		// Cross-rank chemistry work-sharing applies to the final stage's
+		// reaction sweep only (the assignment was fixed at the last cost
+		// record, identically on every rank).
+		b.lbShare = b.lb != nil && rhsCall == nStages
 		rhsSpan := b.profT.Begin("RHS")
 		b.computeRHS(stageTime)
 		rhsSpan.End()
@@ -103,6 +107,7 @@ func (b *Block) StepChecked(dt float64) error {
 	})
 	b.collectHRR = false
 	b.collectCost = false
+	b.lbShare = false
 	b.Step++
 	b.Time += dt
 	if fe := b.cfg.FilterEvery; fe > 0 && b.Step%fe == 0 {

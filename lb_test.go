@@ -1,0 +1,161 @@
+package s3d
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// runLBSerial runs a serial igniting lifted jet for six steps, returning
+// the final checkpoint bytes (and, with balancing on, the exported/imported
+// cell totals, which must stay zero in serial runs).
+func runLBSerial(t *testing.T, workers int, lb bool) []byte {
+	t.Helper()
+	SetWorkers(workers)
+	defer SetWorkers(0)
+	p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := p.NewSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb {
+		if err := sim.EnableLoadBalance(LoadBalanceSpec{Every: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Advance(6, 0.4*sim.StableDt())
+	if lb {
+		if exp, imp := sim.LoadBalanceStats(); exp != 0 || imp != 0 {
+			t.Fatalf("serial run shared work: exported %d imported %d cells", exp, imp)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sim.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runLBDecomposed runs the same jet 2x1x1-decomposed along x — the §6.2
+// ignition kernel sits downstream (x > 0.55·Lx), so the two ranks carry a
+// genuinely imbalanced chemistry load and the work-sharing assignment has
+// real transfers to plan. Returns per-rank checkpoint bytes plus the
+// summed exported/imported cell counts.
+func runLBDecomposed(t *testing.T, workers int, lb bool) ([2][]byte, int64, int64) {
+	t.Helper()
+	SetWorkers(workers)
+	defer SetWorkers(0)
+	p, err := LiftedJetProblem(LiftedJetOptions{Nx: 32, Ny: 24, Nz: 1, IgnitionKernel: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu       sync.Mutex
+		cps      [2][]byte
+		exported int64
+		imported int64
+	)
+	err = RunDecomposed(p.Config, [3]int{2, 1, 1}, func(r *RankSim) {
+		r.SetInitial(p.Initial, p.InitPressure)
+		if lb {
+			// Tight slack so even moderate rank imbalance plans transfers;
+			// every rank must install the identical spec.
+			if err := r.EnableLoadBalance(LoadBalanceSpec{Every: 2, Slack: 0.01}); err != nil {
+				panic(err)
+			}
+		}
+		r.Advance(6, 0.4*r.StableDtGlobal())
+		var buf bytes.Buffer
+		if err := r.SaveCheckpoint(&buf); err != nil {
+			panic(err)
+		}
+		exp, imp := r.LoadBalanceStats()
+		mu.Lock()
+		cps[r.Rank] = buf.Bytes()
+		exported += exp
+		imported += imp
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cps, exported, imported
+}
+
+// TestLoadBalanceBitwiseParity pins the load balancer's determinism
+// contract: balancing re-tiles sweeps and relocates work, but every
+// balancing decision derives from the bitwise-reproducible cost record and
+// the per-cell arithmetic and reduction orders are unchanged — so the
+// solution is bitwise identical to the unbalanced run, at any worker
+// count, including through the cross-rank bundle path.
+func TestLoadBalanceBitwiseParity(t *testing.T) {
+	// Serial: weighted re-tiling only.
+	base := runLBSerial(t, 1, false)
+	if lb1 := runLBSerial(t, 1, true); !bytes.Equal(base, lb1) {
+		t.Fatal("serial checkpoint differs with balancing on (1 worker)")
+	}
+	if lb4 := runLBSerial(t, 4, true); !bytes.Equal(base, lb4) {
+		t.Fatal("serial checkpoint differs with balancing on (4 workers)")
+	}
+
+	// Decomposed: the cross-rank bundle path must actually fire, and must
+	// not change a single bit of either rank's solution.
+	dBase, exp0, imp0 := runLBDecomposed(t, 2, false)
+	if exp0 != 0 || imp0 != 0 {
+		t.Fatalf("unbalanced run reported sharing stats: %d/%d", exp0, imp0)
+	}
+	dLB, exp, imp := runLBDecomposed(t, 2, true)
+	if exp == 0 || imp == 0 {
+		t.Fatalf("work-sharing never fired: exported %d imported %d cells", exp, imp)
+	}
+	if exp != imp {
+		t.Fatalf("exported %d != imported %d cells: bundles lost", exp, imp)
+	}
+	for rank := range dBase {
+		if len(dBase[rank]) == 0 {
+			t.Fatalf("rank %d produced no checkpoint", rank)
+		}
+		if !bytes.Equal(dBase[rank], dLB[rank]) {
+			t.Fatalf("rank %d checkpoint differs with balancing on", rank)
+		}
+	}
+	// And the bundle path is itself worker-count invariant.
+	dLB1, exp1, imp1 := runLBDecomposed(t, 1, true)
+	if exp1 != exp || imp1 != imp {
+		t.Fatalf("sharing stats differ across worker counts: %d/%d vs %d/%d", exp1, imp1, exp, imp)
+	}
+	for rank := range dLB {
+		if !bytes.Equal(dLB[rank], dLB1[rank]) {
+			t.Fatalf("rank %d checkpoint differs between 1 and 2 workers with balancing on", rank)
+		}
+	}
+}
+
+// TestLoadBalanceRequiresNothing pins the root API conveniences: enabling
+// the balancer without cost maps installs them, and stats read zero before
+// any sharing.
+func TestLoadBalanceRequiresNothing(t *testing.T) {
+	p, err := LiftedJetProblem(LiftedJetOptions{Nx: 16, Ny: 12, Nz: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := p.NewSimulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cost() != nil {
+		t.Fatal("cost sampler installed before EnableLoadBalance")
+	}
+	if err := sim.EnableLoadBalance(LoadBalanceSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cost() == nil {
+		t.Fatal("EnableLoadBalance must install the cost sampler it depends on")
+	}
+	if exp, imp := sim.LoadBalanceStats(); exp != 0 || imp != 0 {
+		t.Fatalf("fresh stats = %d/%d, want 0/0", exp, imp)
+	}
+}
